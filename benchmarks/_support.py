@@ -1,0 +1,116 @@
+"""Shared scenario runners for the figure/table benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+runs the corresponding simulation(s), prints the same rows/series the
+paper reports (via :func:`repro.analysis.print_table`), and asserts the
+qualitative shape so a regression in the model breaks the bench.  The
+heavy lifting shared by several figures lives here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro import (
+    AntiDopeScheme,
+    BudgetLevel,
+    CappingScheme,
+    DataCenterSimulation,
+    NullScheme,
+    ShavingScheme,
+    SimulationConfig,
+    TokenScheme,
+)
+from repro.workloads import (
+    COLLA_FILT,
+    K_MEANS,
+    WORD_COUNT,
+    TrafficClass,
+    uniform_mix,
+)
+
+#: The Table 2 scheme matrix.
+SCHEMES = {
+    "capping": CappingScheme,
+    "shaving": ShavingScheme,
+    "token": TokenScheme,
+    "anti-dope": AntiDopeScheme,
+}
+
+#: Budget scenarios in the paper's order.
+BUDGETS = (
+    BudgetLevel.NORMAL,
+    BudgetLevel.HIGH,
+    BudgetLevel.MEDIUM,
+    BudgetLevel.LOW,
+)
+
+ATTACK_MIX = uniform_mix((COLLA_FILT, K_MEANS, WORD_COUNT))
+
+ATTACK_START = 30.0
+MEASURE_FROM = 60.0
+DURATION = 240.0
+# Attack sized at roughly the rack's nominal-frequency service capacity:
+# strong enough that power-fitting DVFS pushes the cluster into overload
+# (the paper's degradation regime) while Normal-PB stays serviceable.
+ATTACK_RATE = 220.0
+NORMAL_RATE = 40.0
+SEED = 7
+
+
+def run_attack_scenario(
+    scheme_factory=NullScheme,
+    budget: BudgetLevel = BudgetLevel.LOW,
+    attack: bool = True,
+    attack_rate: float = ATTACK_RATE,
+    attack_mix=None,
+    normal_rate: float = NORMAL_RATE,
+    duration: float = DURATION,
+    seed: int = SEED,
+    config: Optional[SimulationConfig] = None,
+) -> DataCenterSimulation:
+    """The evaluation scenario: trace-like normal load + DOPE flood."""
+    cfg = config or SimulationConfig(budget_level=budget, seed=seed)
+    sim = DataCenterSimulation(cfg, scheme=scheme_factory())
+    sim.add_normal_traffic(rate_rps=normal_rate)
+    if attack:
+        sim.add_flood(
+            mix=attack_mix if attack_mix is not None else ATTACK_MIX,
+            rate_rps=attack_rate,
+            num_agents=20,
+            start_s=ATTACK_START,
+        )
+    sim.run(duration)
+    return sim
+
+
+def normal_latency(sim: DataCenterSimulation, start: float = MEASURE_FROM):
+    """Latency of the legitimate population in the measurement window."""
+    return sim.latency_stats(
+        traffic_class=TrafficClass.NORMAL, start_s=start, end_s=DURATION
+    )
+
+
+_MATRIX_CACHE: Dict[tuple, Dict] = {}
+
+
+def scheme_budget_matrix(
+    duration: float = DURATION, seed: int = SEED
+) -> Dict[str, Dict[BudgetLevel, DataCenterSimulation]]:
+    """Run every (scheme × budget) cell of Figs 16/17/19.
+
+    Memoized: the three figures drawn from the same evaluation matrix
+    (mean RT, tail latency, energy) share one set of simulations.
+    """
+    key = (duration, seed)
+    if key in _MATRIX_CACHE:
+        return _MATRIX_CACHE[key]
+    matrix: Dict[str, Dict[BudgetLevel, DataCenterSimulation]] = {}
+    for name, factory in SCHEMES.items():
+        matrix[name] = {}
+        for budget in BUDGETS:
+            matrix[name][budget] = run_attack_scenario(
+                factory, budget, duration=duration, seed=seed
+            )
+    _MATRIX_CACHE[key] = matrix
+    return matrix

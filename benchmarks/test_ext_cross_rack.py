@@ -1,0 +1,86 @@
+"""Extension — cross-rack collateral damage through the facility feed.
+
+Three racks behind one oversubscribed facility feed with
+demand-proportional re-planning.  A DOPE flood on rack 0 inflates its
+demand; the facility allocator hands it the headroom, shrinking the
+*bystander* racks' budgets — their users slow down without receiving a
+single attack packet.  The per-rack floors bound the starvation.
+"""
+
+from repro import CappingScheme, SimulationConfig
+from repro.analysis import print_table
+from repro.sim import FacilitySimulation
+from repro.workloads import COLLA_FILT, K_MEANS, WORD_COUNT, TrafficClass, uniform_mix
+
+ATTACK = uniform_mix((COLLA_FILT, K_MEANS, WORD_COUNT))
+DURATION = 240.0
+
+
+def run(attacked: bool):
+    facility = FacilitySimulation(
+        num_racks=3,
+        facility_fraction=0.50,
+        scheme_factory=CappingScheme,
+        rack_config=SimulationConfig(seed=3),
+        replan_interval_s=5.0,
+        floor_fraction=0.2,
+    )
+    for sim in facility.racks:
+        sim.add_normal_traffic(rate_rps=120)
+    if attacked:
+        facility.racks[0].add_flood(
+            mix=ATTACK, rate_rps=300, num_agents=20, start_s=30
+        )
+    facility.run(DURATION)
+    return facility
+
+
+def test_ext_cross_rack(benchmark):
+    facilities = benchmark.pedantic(
+        lambda: {"quiet": run(False), "rack0 attacked": run(True)},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for name, facility in facilities.items():
+        record = facility.stats.records[-1]
+        stats = [
+            sim.latency_stats(traffic_class=TrafficClass.NORMAL, start_s=60.0)
+            for sim in facility.racks
+        ]
+        rows.append(
+            (
+                name,
+                *(f"{a.allocated_w:.0f}" for a in record.allocations),
+                *(s.mean * 1e3 for s in stats),
+            )
+        )
+    print_table(
+        ["scenario", "W rack0", "W rack1", "W rack2", "ms rack0", "ms rack1", "ms rack2"],
+        rows,
+        title="Extension: cross-rack DOPE via facility re-planning",
+    )
+
+    quiet, attacked = facilities["quiet"], facilities["rack0 attacked"]
+    q_rec, a_rec = quiet.stats.records[-1], attacked.stats.records[-1]
+    # The attacked rack bid headroom away from its neighbours...
+    assert a_rec.allocations[0].allocated_w > q_rec.allocations[0].allocated_w
+    for i in (1, 2):
+        assert a_rec.allocations[i].allocated_w < q_rec.allocations[i].allocated_w
+    # ...slowing bystander users who never saw a hostile packet.
+    for i in (1, 2):
+        q = quiet.racks[i].latency_stats(
+            traffic_class=TrafficClass.NORMAL, start_s=60.0
+        )
+        a = attacked.racks[i].latency_stats(
+            traffic_class=TrafficClass.NORMAL, start_s=60.0
+        )
+        assert a.mean > 1.05 * q.mean
+    # Floors keep the bystanders alive: everyone got at least the floor.
+    floor = attacked.facility_budget_w * 0.2 / 3
+    for a in a_rec.allocations:
+        assert a.allocated_w >= min(floor, a.demand_w) - 1e-6
+    # The facility feed is never oversubscribed by the allocation.
+    total = sum(a.allocated_w for a in a_rec.allocations)
+    assert total <= attacked.facility_budget_w + 1e-6

@@ -1,0 +1,104 @@
+"""Extension — detection without attribution.
+
+The paper claims rate-based network defences cannot handle DOPE.  This
+bench gives the network side its best shot: an EWMA aggregate anomaly
+detector running alongside DDoS-deflate during a DOPE attack versus a
+classic single-source flood.
+
+Result: the detector *sees* the DOPE onset immediately (the aggregate
+z-score explodes) — but its offender list is empty, because no single
+agent exceeds any per-source threshold.  Against the classic flood both
+detection *and* attribution succeed.  DOPE's evasion is not stealth;
+it is the attribution gap.
+"""
+
+from repro import DataCenterSimulation, NullScheme, SimulationConfig
+from repro.analysis import print_table
+from repro.network.anomaly import AggregateAnomalyDetector
+from repro.workloads import COLLA_FILT, K_MEANS, WORD_COUNT, uniform_mix
+
+ATTACK = uniform_mix((COLLA_FILT, K_MEANS, WORD_COUNT))
+DURATION = 180.0
+ATTACK_START = 90.0
+
+
+def run(num_agents, rate_rps=250.0, closed_loop=True):
+    sim = DataCenterSimulation(SimulationConfig(seed=6), scheme=NullScheme())
+    detector = AggregateAnomalyDetector(
+        window_s=5.0, z_threshold=4.0, warmup_windows=6, offender_rps=50.0
+    )
+    detector.attach(sim.engine)
+    original_dispatch = sim.nlb.dispatch
+
+    def observed_dispatch(request):
+        detector.observe(request.source_id)
+        return original_dispatch(request)
+
+    sim.add_normal_traffic(rate_rps=40)
+    # Route generators through the observing dispatch.
+    from repro.workloads.attacks import make_flood
+
+    gen = make_flood(
+        sim.engine,
+        observed_dispatch,
+        sim.registry,
+        sim.new_rng(),
+        mix=ATTACK,
+        rate_rps=rate_rps,
+        num_agents=num_agents,
+        closed_loop=closed_loop,
+        label="flood",
+    )
+    gen.start(ATTACK_START)
+    # Normal traffic also observed (rewire its dispatch).
+    for g in sim.generators:
+        g.dispatch = observed_dispatch
+    sim.run(DURATION)
+    return sim, detector
+
+
+def test_ext_detection_gap(benchmark):
+    runs = benchmark.pedantic(
+        lambda: {
+            "DOPE (40 agents)": run(40),
+            # A classic blatant flood: open-loop packet blasting from
+            # two sources at 200 req/s each.
+            "classic flood (2 agents)": run(2, rate_rps=400.0, closed_loop=False),
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for name, (sim, detector) in runs.items():
+        first_alarm = (
+            detector.stats.alarms[0].time if detector.stats.alarms else float("nan")
+        )
+        attributed = any(a.offenders for a in detector.stats.alarms)
+        rows.append(
+            (
+                name,
+                detector.stats.alarm_count,
+                first_alarm,
+                attributed,
+                sim.firewall.stats.bans,
+            )
+        )
+    print_table(
+        ["attack", "alarms", "first alarm s", "attributable", "deflate bans"],
+        rows,
+        title="Extension: aggregate detection vs per-source attribution",
+    )
+
+    dope_sim, dope_det = runs["DOPE (40 agents)"]
+    classic_sim, classic_det = runs["classic flood (2 agents)"]
+    # Both attacks are *detected* in the aggregate...
+    assert dope_det.stats.alarm_count >= 1
+    assert classic_det.stats.alarm_count >= 1
+    # ...and detection is prompt (within two windows of onset).
+    assert dope_det.stats.alarms[0].time <= ATTACK_START + 15.0
+    # But only the classic flood is attributable / bannable.
+    assert all(a.offenders == [] for a in dope_det.stats.alarms)
+    assert any(a.offenders for a in classic_det.stats.alarms)
+    assert dope_sim.firewall.stats.bans == 0
+    assert classic_sim.firewall.stats.bans >= 2

@@ -1,0 +1,79 @@
+"""Fig. 4 — the higher traffic rate tends to cause higher power.
+
+(a) mean power versus traffic rate for each service type;
+(b) CDF of power at multiple traffic rates (normalised to nameplate).
+
+Paper shape: power is monotone in rate for every type; the heavy
+analytics endpoints elevate power already at light rates; higher rates
+give higher and *less variable* power (the CDF tightens).
+"""
+
+import numpy as np
+
+from repro import DataCenterSimulation, NullScheme, SimulationConfig
+from repro.analysis import EmpiricalCDF, print_table
+from repro.workloads import COLLA_FILT, K_MEANS, TEXT_CONT, VICTIM_TYPES, WORD_COUNT
+
+RATES = (25.0, 50.0, 100.0, 200.0, 400.0)
+WINDOW_S = 90.0
+
+
+def measure(rtype, rate):
+    sim = DataCenterSimulation(
+        SimulationConfig(seed=3, use_firewall=False), scheme=NullScheme()
+    )
+    sim.add_flood(mix=rtype, rate_rps=rate, num_agents=20, label="probe")
+    sim.run(WINDOW_S)
+    return sim.meter.powers()[30:]
+
+
+def test_fig04_power_vs_rate(benchmark):
+    def sweep():
+        return {
+            (t.name, rate): measure(t, rate) for t in VICTIM_TYPES for rate in RATES
+        }
+
+    samples = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # --- Fig 4a: mean power vs rate per type -------------------------
+    rows = []
+    for t in VICTIM_TYPES:
+        rows.append(
+            (t.name, *(float(np.mean(samples[(t.name, r)])) for r in RATES))
+        )
+    print_table(
+        ["type"] + [f"{int(r)}rps" for r in RATES],
+        rows,
+        title="Fig 4a: mean power (W) vs traffic rate",
+    )
+
+    # --- Fig 4b: power CDF at multiple rates (Colla-Filt) ------------
+    nameplate = 400.0
+    cdf_rows = []
+    for rate in RATES:
+        cdf = EmpiricalCDF(samples[("colla-filt", rate)]).normalized(nameplate)
+        cdf_rows.append(
+            (int(rate), cdf.quantile(0.1), cdf.median(), cdf.quantile(0.9), cdf.spread())
+        )
+    print_table(
+        ["rate_rps", "p10", "p50", "p90", "p10-p90 spread"],
+        cdf_rows,
+        title="Fig 4b: normalized power CDF vs rate (colla-filt)",
+    )
+
+    # Shape assertions.
+    for t in VICTIM_TYPES:
+        means = [float(np.mean(samples[(t.name, r)])) for r in RATES]
+        assert all(a <= b + 1.0 for a, b in zip(means, means[1:])), (
+            f"{t.name}: power not monotone in rate: {means}"
+        )
+    # Heavy endpoints elevate power at light rates far above the light one.
+    light_rate = RATES[1]
+    for heavy in (COLLA_FILT, K_MEANS, WORD_COUNT):
+        assert np.mean(samples[(heavy.name, light_rate)]) > np.mean(
+            samples[(TEXT_CONT.name, light_rate)]
+        )
+    # Variance shrinks as the rate saturates the servers (Fig 4b).
+    spread_low = EmpiricalCDF(samples[("colla-filt", 50.0)]).spread()
+    spread_high = EmpiricalCDF(samples[("colla-filt", 400.0)]).spread()
+    assert spread_high < spread_low

@@ -1,0 +1,83 @@
+"""Fig. 5 — power caused by different traffic types at rate 100.
+
+(a) CDF of power for each traffic type individually (normalised to
+nameplate): abnormal (heavy) traffic draws higher and more stable
+power than normal users, Colla-Filt's curve is sub-vertical and
+right-most ("it has expended the potential maximum power resource
+across all servers");
+(b) average power per request: K-means highest, volume floods lowest.
+
+The paper probes at 100 req/s, which saturates its (slower) testbed;
+this bench uses the rate that saturates *our* modelled servers the same
+way — the per-request service demands differ, the regime is identical.
+"""
+
+import numpy as np
+
+from repro import DataCenterSimulation, NullScheme, SimulationConfig
+from repro.analysis import EmpiricalCDF, print_table
+from repro.workloads import ALL_TYPES, VICTIM_TYPES, VOLUME_DOS
+
+RATE = 250.0
+WINDOW_S = 120.0
+NAMEPLATE = 400.0
+
+
+def measure(mix, label):
+    sim = DataCenterSimulation(
+        SimulationConfig(seed=5, use_firewall=False), scheme=NullScheme()
+    )
+    if label == "normal":
+        sim.add_normal_traffic(rate_rps=RATE)
+    else:
+        sim.add_flood(mix=mix, rate_rps=RATE, num_agents=20, label=label)
+    sim.run(WINDOW_S)
+    powers = sim.meter.powers()[30:]
+    accepted = sim.collector.filtered(completed_only=True, start_s=30.0)
+    mean_dynamic = float(np.mean(powers)) - sim.rack.idle_floor()
+    rate_served = len(accepted) / (WINDOW_S - 30.0)
+    energy_per_req = mean_dynamic / rate_served if rate_served else float("nan")
+    return powers, energy_per_req
+
+
+def test_fig05_power_cdf_by_type(benchmark):
+    def sweep():
+        out = {}
+        for t in ALL_TYPES:
+            out[t.name] = measure(t, t.name)
+        out["normal"] = measure(None, "normal")
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # --- Fig 5a: per-type power CDF -----------------------------------
+    rows_a = []
+    for name in [t.name for t in ALL_TYPES] + ["normal"]:
+        cdf = EmpiricalCDF(results[name][0]).normalized(NAMEPLATE)
+        rows_a.append((name, cdf.quantile(0.1), cdf.median(), cdf.quantile(0.9), cdf.spread()))
+    print_table(
+        ["traffic", "p10", "p50", "p90", "spread"],
+        rows_a,
+        title="Fig 5a: normalized power CDF by traffic type @ saturating rate (paper: 100 rps)",
+    )
+
+    # --- Fig 5b: average power per request -----------------------------
+    rows_b = [(name, results[name][1]) for name in [t.name for t in ALL_TYPES]]
+    print_table(
+        ["type", "avg power per request (W/rps)"],
+        rows_b,
+        title="Fig 5b: average per-request power @ saturating rate (paper: 100 rps)",
+    )
+
+    medians = {r[0]: r[2] for r in rows_a}
+    spreads = {r[0]: r[4] for r in rows_a}
+    # Abnormal heavy traffic draws more power than the normal mix...
+    for heavy in ("colla-filt", "k-means", "word-count"):
+        assert medians[heavy] > medians["normal"]
+    # ...and Colla-Filt's CDF is right-most among the EC endpoints and tight.
+    assert medians["colla-filt"] == max(medians[t.name] for t in VICTIM_TYPES)
+    assert spreads["colla-filt"] < 0.1
+    # Fig 5b: K-means most power per request, volume flood least.
+    per_req = dict(rows_b)
+    assert per_req["k-means"] == max(per_req.values())
+    assert per_req[VOLUME_DOS.name] == min(per_req.values())

@@ -1,0 +1,49 @@
+"""Fig. 8 — service time of the four observed traffic types.
+
+Under the power-limited cluster with capping, compares the per-type
+response time of the victim endpoints while each type floods alone.
+Paper shape: Colla-Filt and K-means arouse the most serious
+degradation of service quality.
+"""
+
+from repro import BudgetLevel, CappingScheme, DataCenterSimulation, SimulationConfig
+from repro.analysis import print_table
+from repro.workloads import VICTIM_TYPES, TrafficClass
+
+DURATION = 180.0
+RATE = 300.0
+
+
+def measure(rtype):
+    sim = DataCenterSimulation(
+        SimulationConfig(budget_level=BudgetLevel.LOW, seed=3), scheme=CappingScheme()
+    )
+    sim.add_normal_traffic(rate_rps=40)
+    sim.add_flood(mix=rtype, rate_rps=RATE, num_agents=20, start_s=30)
+    sim.run(DURATION)
+    under_attack = sim.latency_stats(
+        traffic_class=TrafficClass.NORMAL, start_s=60.0, end_s=DURATION
+    )
+    return under_attack
+
+
+def test_fig08_service_time_by_type(benchmark):
+    results = benchmark.pedantic(
+        lambda: {t.name: measure(t) for t in VICTIM_TYPES}, rounds=1, iterations=1
+    )
+    rows = [
+        (name, s.mean * 1e3, s.p90 * 1e3, s.p95 * 1e3)
+        for name, s in results.items()
+    ]
+    print_table(
+        ["attack type", "normal mean ms", "p90 ms", "p95 ms"],
+        rows,
+        title="Fig 8: normal-user service time by flooding type (Low-PB, capping)",
+    )
+
+    means = {name: s.mean for name, s in results.items()}
+    # Colla-Filt and K-means floods hurt legitimate users most.
+    worst_two = sorted(means, key=means.get, reverse=True)[:2]
+    assert set(worst_two) == {"colla-filt", "k-means"}
+    # The light text endpoint is the most benign flood.
+    assert means["text-cont"] == min(means.values())

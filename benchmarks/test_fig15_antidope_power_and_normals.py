@@ -1,0 +1,113 @@
+"""Fig. 15 — Anti-DOPE allocates power with slight degradation.
+
+(a) Power time series: the original EC application runs at low power
+(the paper's red line); a DOPE flood sharply raises the unmanaged
+rack's power past the budget; with Anti-DOPE the total demand stays
+within the supply.
+(b) Normal users' response-time profile (min / mean / p90 / p95 / p99 /
+max) under Anti-DOPE with the attack, against the good-user Normal-PB
+baseline: mean and the 90th/95th percentiles are only slightly worse.
+"""
+
+import numpy as np
+
+from repro import (
+    AntiDopeScheme,
+    BudgetLevel,
+    DataCenterSimulation,
+    NullScheme,
+    SimulationConfig,
+)
+from repro.analysis import print_table
+from repro.workloads import TrafficClass
+
+from _support import ATTACK_MIX
+
+DURATION = 240.0
+ATTACK_START = 60.0
+
+
+def run(scheme_factory, attack, budget=BudgetLevel.LOW):
+    sim = DataCenterSimulation(
+        SimulationConfig(budget_level=budget, seed=9), scheme=scheme_factory()
+    )
+    sim.add_normal_traffic(rate_rps=40)
+    if attack:
+        sim.add_flood(
+            mix=ATTACK_MIX, rate_rps=300, num_agents=20, start_s=ATTACK_START
+        )
+    sim.run(DURATION)
+    return sim
+
+
+def test_fig15_antidope_power_and_normals(benchmark):
+    def scenario():
+        return {
+            "baseline": run(NullScheme, attack=False, budget=BudgetLevel.NORMAL),
+            "unmanaged": run(NullScheme, attack=True),
+            "anti-dope": run(AntiDopeScheme, attack=True),
+        }
+
+    sims = benchmark.pedantic(scenario, rounds=1, iterations=1)
+
+    # --- Fig 15a: power phases ----------------------------------------
+    rows = []
+    for name, sim in sims.items():
+        powers = sim.meter.powers()
+        times = sim.meter.times()
+        pre = powers[(times > 10) & (times < ATTACK_START)]
+        post = powers[times > ATTACK_START + 30]
+        rows.append(
+            (
+                name,
+                float(np.mean(pre)),
+                float(np.mean(post)) if len(post) else float("nan"),
+                float(np.max(powers)),
+                sims["anti-dope"].budget.supply_w,
+            )
+        )
+    print_table(
+        ["run", "pre-attack W", "attack W", "peak W", "Low-PB budget W"],
+        rows,
+        title="Fig 15a: rack power before/during DOPE",
+    )
+
+    # --- Fig 15b: normal users' response-time profile -------------------
+    profile_rows = []
+    stats = {}
+    for name in ("baseline", "anti-dope"):
+        s = sims[name].latency_stats(
+            traffic_class=TrafficClass.NORMAL, start_s=ATTACK_START + 30
+        )
+        stats[name] = s
+        profile_rows.append(
+            (
+                name,
+                s.minimum * 1e3,
+                s.mean * 1e3,
+                s.p90 * 1e3,
+                s.p95 * 1e3,
+                s.p99 * 1e3,
+                s.maximum * 1e3,
+            )
+        )
+    print_table(
+        ["run", "min ms", "mean ms", "p90 ms", "p95 ms", "p99 ms", "max ms"],
+        profile_rows,
+        title="Fig 15b: normal-user service-time profile",
+    )
+
+    unmanaged, anti = sims["unmanaged"], sims["anti-dope"]
+    budget = anti.budget.supply_w
+    # (a) the attack drives the unmanaged rack past the budget...
+    assert unmanaged.meter.peak_power() > budget
+    # ...the original application ran far below it...
+    base_powers = sims["baseline"].meter.powers()
+    assert float(np.mean(base_powers)) < 0.6 * budget
+    # ...and Anti-DOPE keeps the demand within the supply.
+    anti_powers = anti.meter.powers()
+    assert (anti_powers > budget).mean() < 0.05
+    # (b) mean / p90 / p95 only slightly worse than the good-user baseline.
+    assert stats["anti-dope"].mean < 2.0 * stats["baseline"].mean
+    assert stats["anti-dope"].p90 < 2.0 * stats["baseline"].p90
+    assert stats["anti-dope"].p95 < 2.5 * stats["baseline"].p95

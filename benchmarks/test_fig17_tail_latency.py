@@ -1,0 +1,46 @@
+"""Fig. 17 — 90th-percentile tail latency per scheme and power budget.
+
+Paper shapes: under Normal-PB there is no big difference between
+schemes (power is adequate); under-provisioning inflates the tail for
+Capping and Shaving into the hundreds of milliseconds; Anti-DOPE
+sustains the normal users' tail regardless of the supplied power;
+batteries do not help Shaving against the long-duration peak.
+"""
+
+from repro import BudgetLevel
+from repro.analysis import print_table
+
+from _support import BUDGETS, SCHEMES, normal_latency, scheme_budget_matrix
+
+
+def test_fig17_tail_latency(benchmark):
+    matrix = benchmark.pedantic(scheme_budget_matrix, rounds=1, iterations=1)
+
+    p90 = {
+        (s, b): normal_latency(matrix[s][b]).p90 for s in SCHEMES for b in BUDGETS
+    }
+    print_table(
+        ["scheme"] + [b.value for b in BUDGETS],
+        [(s, *(p90[(s, b)] * 1e3 for b in BUDGETS)) for s in SCHEMES],
+        title="Fig 17: normal-user p90 tail latency (ms) under DOPE",
+    )
+
+    # Normal-PB: adequate power keeps every tail in the sub-250 ms band.
+    normal_tails = [p90[(s, BudgetLevel.NORMAL)] for s in SCHEMES]
+    assert max(normal_tails) < 0.25
+    # Under-provisioned: capping's tail reaches the paper's 200+ ms
+    # range ("the tail latency can be up to 236 milliseconds").
+    assert p90[("capping", BudgetLevel.LOW)] > 0.200
+    assert (
+        p90[("capping", BudgetLevel.LOW)]
+        > 1.3 * p90[("capping", BudgetLevel.NORMAL)]
+    )
+    # Batteries don't function well against the long-duration peak:
+    # Shaving's tail is in capping's league, not Anti-DOPE's.
+    assert p90[("shaving", BudgetLevel.LOW)] > 0.5 * p90[("capping", BudgetLevel.LOW)]
+    # Anti-DOPE sustains the tail regardless of the supplied power.
+    for b in (BudgetLevel.HIGH, BudgetLevel.MEDIUM, BudgetLevel.LOW):
+        assert p90[("anti-dope", b)] < 0.5 * p90[("capping", b)]
+        assert p90[("anti-dope", b)] < 0.5 * p90[("shaving", b)]
+    anti_across = [p90[("anti-dope", b)] for b in BUDGETS]
+    assert max(anti_across) < 0.25

@@ -1,0 +1,83 @@
+"""Performance micro-benchmarks on the simulator's hot paths.
+
+Unlike the figure benches (one-shot scenario reproductions), these are
+true pytest-benchmark timings with many rounds, tracking regressions in
+the code the event loop spends its time in: event scheduling/dispatch,
+the server submit→finish cycle, power-model evaluation and mix
+sampling.  A trace-driven run executes each of these millions of times.
+"""
+
+import numpy as np
+
+from repro.cluster import Rack, ServerPowerModel
+from repro.network import NetworkLoadBalancer, Request
+from repro.sim import EventEngine
+from repro.workloads import COLLA_FILT, TEXT_CONT, TrafficClass, alios_mix
+
+
+def test_perf_engine_event_throughput(benchmark):
+    """Schedule + dispatch cost per event (heap push/pop + callback)."""
+
+    def run_10k_events():
+        engine = EventEngine()
+        for i in range(10_000):
+            engine.schedule(i * 1e-4, lambda: None)
+        engine.run()
+        return engine.dispatched
+
+    dispatched = benchmark(run_10k_events)
+    assert dispatched == 10_000
+
+
+def test_perf_server_request_cycle(benchmark):
+    """Full submit → serve → complete cycle including energy accrual."""
+
+    def serve_1k_requests():
+        engine = EventEngine()
+        rack = Rack(engine, num_servers=4, rng=np.random.default_rng(0))
+        nlb = NetworkLoadBalancer(rack.servers, now=lambda: engine.now)
+        t = 0.0
+        for i in range(1_000):
+            t += 0.001
+            req = Request(TEXT_CONT, i % 50, TrafficClass.NORMAL, t)
+            engine.schedule_at(t, lambda r=req: nlb.dispatch(r))
+        engine.run()
+        return nlb.forwarded
+
+    forwarded = benchmark(serve_1k_requests)
+    assert forwarded == 1_000
+
+
+def test_perf_power_model_evaluation(benchmark):
+    """The power query every control slot and meter sample issues."""
+    model = ServerPowerModel()
+    active = [COLLA_FILT] * 5 + [TEXT_CONT] * 3
+
+    result = benchmark(lambda: model.power(active, 0.875))
+    assert result > model.idle_power(0.875)
+
+
+def test_perf_mix_sampling(benchmark):
+    """Vectorised request-type sampling (the arrival hot path)."""
+    mix = alios_mix()
+    rng = np.random.default_rng(0)
+
+    samples = benchmark(lambda: mix.sample_many(rng, 1_000))
+    assert len(samples) == 1_000
+
+
+def test_perf_dvfs_transition(benchmark):
+    """Level change with in-flight work rescaling (8 busy workers)."""
+
+    def transition():
+        engine = EventEngine()
+        rack = Rack(engine, num_servers=1, rng=np.random.default_rng(0))
+        server = rack.servers[0]
+        for i in range(8):
+            server.submit(Request(COLLA_FILT, i, TrafficClass.NORMAL, 0.0))
+        server.set_level(0)
+        server.set_level(12)
+        return server.busy_workers
+
+    busy = benchmark(transition)
+    assert busy == 8

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""The adaptive DOPE attacker converging on its sweet spot (Fig. 12).
+
+Launches the probe-and-adjust attacker from the paper's Figure 12
+against a firewalled, power-limited cluster and prints the adjustment
+trace: the aggregate rate ramps while the attack is undetected and
+ineffective, and holds once the victim's power budget is being violated
+without a single agent crossing the per-source detection threshold.
+
+The attacker's "effect" feedback here is victim-side response-time
+probing: it keeps a trickle of its own requests and watches their
+latency inflate when the victim starts throttling.
+
+Run:  python examples/adaptive_attacker.py
+"""
+
+from repro import BudgetLevel, CappingScheme, DataCenterSimulation, SimulationConfig
+from repro.analysis import print_table
+from repro.workloads import TrafficClass
+
+DURATION = 500.0
+ADJUST_EVERY = 25.0
+
+
+def main() -> None:
+    print(__doc__)
+    sim = DataCenterSimulation(
+        SimulationConfig(budget_level=BudgetLevel.MEDIUM, seed=1),
+        scheme=CappingScheme(),
+    )
+    sim.add_normal_traffic(rate_rps=30)
+
+    # Attacker-side effect signal: compare the latency of its own
+    # recent requests against the pre-attack baseline it measured.
+    collector = sim.collector
+
+    def attack_latency_inflated() -> bool:
+        now = sim.now
+        recent = collector.response_times(
+            traffic_class=TrafficClass.ATTACK, start_s=now - ADJUST_EVERY
+        )
+        early = collector.response_times(
+            traffic_class=TrafficClass.ATTACK, end_s=60.0
+        )
+        if len(recent) < 20 or len(early) < 20:
+            return False
+        return float(recent.mean()) > 2.0 * float(early.mean())
+
+    attacker = sim.add_dope_attacker(
+        initial_rate_rps=40.0,
+        rate_step_rps=60.0,
+        max_rate_rps=1000.0,
+        num_agents=40,
+        adjust_interval_s=ADJUST_EVERY,
+        effect_signal=attack_latency_inflated,
+    )
+    sim.run(DURATION)
+
+    print_table(
+        ["t (s)", "aggregate rps", "per-agent rps", "detected", "effective", "state"],
+        [
+            (
+                a.time,
+                a.rate_rps,
+                a.rate_rps / a.num_agents,
+                a.detected,
+                a.effective,
+                a.state.value,
+            )
+            for a in attacker.stats.adjustments
+        ],
+        title="DOPE probe-and-adjust trace",
+    )
+
+    print(f"converged           : {attacker.stats.converged}")
+    print(f"final aggregate rate: {attacker.stats.final_rate:.0f} req/s")
+    print(f"per-agent rate      : {attacker.per_agent_rate:.1f} req/s "
+          f"(firewall threshold {sim.firewall.threshold_rps:.0f})")
+    print(f"firewall bans       : {sim.firewall.stats.bans}")
+    print(f"peak power          : {sim.meter.peak_power():.0f} W "
+          f"(budget {sim.budget.supply_w:.0f} W)")
+    victim = sim.latency_stats(traffic_class=TrafficClass.NORMAL, start_s=300.0)
+    print(f"victim normal users : {victim}")
+
+
+if __name__ == "__main__":
+    main()

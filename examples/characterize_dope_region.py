@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Map the DOPE attack region of a data center (paper Fig. 11).
+
+Given an infrastructure description, this sweeps the (request type ×
+traffic rate) plane and reports which attack configurations violate the
+power budget without triggering the perimeter defence — the region a
+DOPE adversary operates in.  Use it the way a defender would: to learn
+which of your endpoints are weaponisable and at what rates, before an
+attacker profiles them for you.
+
+Run:  python examples/characterize_dope_region.py [--budget medium]
+"""
+
+import argparse
+
+from repro.analysis import DopeRegionAnalyzer, print_table
+from repro.power import BudgetLevel
+from repro.sim import SimulationConfig
+from repro.workloads import ALL_TYPES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--budget",
+        choices=[level.name.lower() for level in BudgetLevel],
+        default="medium",
+        help="provisioning scenario to probe",
+    )
+    parser.add_argument(
+        "--agents", type=int, default=20, help="attacker agent count"
+    )
+    parser.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=[50.0, 100.0, 200.0, 400.0],
+        help="aggregate attack rates to sweep (req/s)",
+    )
+    args = parser.parse_args()
+
+    budget = BudgetLevel[args.budget.upper()]
+    analyzer = DopeRegionAnalyzer(
+        config=SimulationConfig(budget_level=budget, seed=0),
+        window_s=50.0,
+        num_agents=args.agents,
+    )
+    print(f"Sweeping {len(ALL_TYPES)} endpoint types x {len(args.rates)} rates "
+          f"at {budget.value} with {args.agents} agents...\n")
+    result = analyzer.sweep(ALL_TYPES, args.rates)
+
+    print_table(
+        ["type"] + [f"{int(r)} rps" for r in args.rates],
+        [
+            (t.name, *(result.zone_of(t.name, r) for r in args.rates))
+            for t in ALL_TYPES
+        ],
+        title=f"DOPE region map ({budget.value}, {args.agents} agents)",
+    )
+
+    dope = result.dope_cells()
+    if dope:
+        print("Weaponisable endpoints (budget violated, firewall blind):")
+        for t in ALL_TYPES:
+            onset = result.dope_onset_rate(t.name)
+            if onset is not None:
+                print(f"  {t.name:12s} enters the DOPE region at {onset:.0f} req/s")
+        print(
+            "\nMitigations: profile these URLs into a suspect list and\n"
+            "isolate them with PDF (see defend_with_anti_dope.py)."
+        )
+    else:
+        print("No DOPE region at this budget — the supply absorbs every probe.")
+
+
+if __name__ == "__main__":
+    main()

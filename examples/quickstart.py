@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Quickstart: a power-oversubscribed data center under a DOPE flood.
+
+Builds the paper's scaled-down testbed (four 100 W servers behind a
+load balancer and a DDoS-deflate firewall, provisioned at 80 % of
+nameplate), runs legitimate e-Commerce traffic, launches a DOPE attack
+halfway through, and compares how plain DVFS capping and Anti-DOPE
+handle it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AntiDopeScheme,
+    BudgetLevel,
+    CappingScheme,
+    DataCenterSimulation,
+    SimulationConfig,
+)
+from repro.analysis import print_table
+from repro.workloads import COLLA_FILT, K_MEANS, WORD_COUNT, TrafficClass, uniform_mix
+
+DURATION = 180.0
+ATTACK_START = 45.0
+
+
+def run(scheme, label):
+    config = SimulationConfig(budget_level=BudgetLevel.LOW, seed=42)
+    sim = DataCenterSimulation(config, scheme=scheme)
+
+    # Legitimate users browsing the e-Commerce service.
+    sim.add_normal_traffic(rate_rps=40, num_users=200)
+
+    # The DOPE flood: high-power requests, spread over 20 agents so no
+    # single source ever crosses the firewall's 150 req/s threshold.
+    sim.add_flood(
+        mix=uniform_mix((COLLA_FILT, K_MEANS, WORD_COUNT)),
+        rate_rps=300,
+        num_agents=20,
+        start_s=ATTACK_START,
+    )
+
+    sim.run(DURATION)
+
+    stats = sim.latency_stats(
+        traffic_class=TrafficClass.NORMAL, start_s=ATTACK_START + 15
+    )
+    print(f"\n=== {label} ===")
+    print(f"  peak rack power : {sim.meter.peak_power():7.1f} W "
+          f"(budget {sim.budget.supply_w:.0f} W)")
+    print(f"  firewall bans   : {sim.firewall.stats.bans}")
+    print(f"  normal users    : {stats}")
+    return sim, stats
+
+
+def main():
+    print(__doc__)
+    _, capping = run(CappingScheme(), "Capping (DVFS only) under DOPE")
+    _, anti = run(AntiDopeScheme(), "Anti-DOPE under the same DOPE")
+
+    print_table(
+        ["metric", "capping", "anti-dope", "improvement"],
+        [
+            (
+                "mean ms",
+                capping.mean * 1e3,
+                anti.mean * 1e3,
+                f"{(1 - anti.mean / capping.mean) * 100:.0f}%",
+            ),
+            (
+                "p90 ms",
+                capping.p90 * 1e3,
+                anti.p90 * 1e3,
+                f"{(1 - anti.p90 / capping.p90) * 100:.0f}%",
+            ),
+        ],
+        title="Normal-user latency during the attack",
+    )
+    print(
+        "The flood never trips the firewall, yet wrecks the capped\n"
+        "cluster; Anti-DOPE isolates it on the suspect pool instead."
+    )
+
+
+if __name__ == "__main__":
+    main()

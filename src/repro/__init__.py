@@ -1,0 +1,65 @@
+"""repro — DOPE / Anti-DOPE simulation framework.
+
+A from-scratch Python reproduction of *"When Power Oversubscription
+Meets Traffic Flood Attack: Re-Thinking Data Center Peak Load
+Management"* (Hou et al., ICPP 2019).
+
+The package simulates a power-oversubscribed data center under
+application-layer traffic floods and implements:
+
+* the **DOPE** threat — low-rate, high-power request floods that
+  violate the power budget without tripping network DoS defences; and
+* **Anti-DOPE** — the paper's request-aware power-management framework
+  (power-driven forwarding + request-aware/differentiated power
+  management), alongside the Capping / Shaving / Token baselines.
+
+Quickstart::
+
+    from repro import (
+        AntiDopeScheme, BudgetLevel, DataCenterSimulation, SimulationConfig,
+    )
+    from repro.workloads import COLLA_FILT
+
+    config = SimulationConfig(budget_level=BudgetLevel.LOW)
+    sim = DataCenterSimulation(config, scheme=AntiDopeScheme())
+    sim.add_normal_traffic(rate_rps=40)
+    sim.add_flood(mix=COLLA_FILT, rate_rps=400, num_agents=20, start_s=60)
+    sim.run(300)
+    print(sim.latency_stats())
+"""
+
+from .core import AntiDopeScheme, DPMPlanner, PDFPolicy, SuspectList
+from .metrics import LatencyStats, MetricsCollector
+from .power import (
+    Battery,
+    BudgetLevel,
+    CappingScheme,
+    NullScheme,
+    PowerBudget,
+    PowerManagementScheme,
+    ShavingScheme,
+    TokenScheme,
+)
+from .sim import DataCenterSimulation, SimulationConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "DataCenterSimulation",
+    "SimulationConfig",
+    "BudgetLevel",
+    "PowerBudget",
+    "Battery",
+    "PowerManagementScheme",
+    "NullScheme",
+    "CappingScheme",
+    "ShavingScheme",
+    "TokenScheme",
+    "AntiDopeScheme",
+    "SuspectList",
+    "PDFPolicy",
+    "DPMPlanner",
+    "MetricsCollector",
+    "LatencyStats",
+]

@@ -1,0 +1,134 @@
+"""Result export: CSV and JSON for external plotting tools.
+
+The simulator never plots; it exports.  These functions flatten the
+three result artefacts — completion records, power-meter samples and
+latency summaries — into formats any plotting stack (matplotlib,
+gnuplot, a spreadsheet) consumes directly, so figure generation stays
+out of the library.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import IO, Iterable, Mapping, Optional, Union
+
+from ..metrics.collector import MetricsCollector
+from ..metrics.latency import LatencyStats
+from ..network.request import CompletionRecord
+from ..power.meter import PowerMeter
+
+PathOrFile = Union[str, IO[str]]
+
+
+def _open(target: PathOrFile):
+    if isinstance(target, str):
+        return open(target, "w", newline=""), True
+    return target, False
+
+
+def records_to_csv(
+    records: Iterable[CompletionRecord], target: PathOrFile
+) -> int:
+    """Write completion records as CSV; returns the row count.
+
+    Columns: ``request_id, type, class, outcome, arrival_s, finish_s,
+    response_ms, server``.
+    """
+    fh, owned = _open(target)
+    try:
+        writer = csv.writer(fh)
+        writer.writerow(
+            [
+                "request_id",
+                "type",
+                "class",
+                "outcome",
+                "arrival_s",
+                "finish_s",
+                "response_ms",
+                "server",
+            ]
+        )
+        n = 0
+        for r in records:
+            writer.writerow(
+                [
+                    r.request_id,
+                    r.type_name,
+                    r.traffic_class.value,
+                    r.outcome.value,
+                    f"{r.arrival_time:.6f}",
+                    f"{r.finish_time:.6f}",
+                    f"{r.response_time * 1e3:.3f}" if r.completed else "",
+                    r.server_id if r.server_id is not None else "",
+                ]
+            )
+            n += 1
+        return n
+    finally:
+        if owned:
+            fh.close()
+
+
+def meter_to_csv(meter: PowerMeter, target: PathOrFile) -> int:
+    """Write power-meter samples as CSV; returns the row count.
+
+    Columns: ``time_s, power_w, mean_level, battery_soc``.
+    """
+    fh, owned = _open(target)
+    try:
+        writer = csv.writer(fh)
+        writer.writerow(["time_s", "power_w", "mean_level", "battery_soc"])
+        for s in meter.samples:
+            writer.writerow(
+                [
+                    f"{s.time:.3f}",
+                    f"{s.power_w:.3f}",
+                    f"{s.mean_level:.3f}",
+                    "" if s.battery_soc is None else f"{s.battery_soc:.4f}",
+                ]
+            )
+        return len(meter.samples)
+    finally:
+        if owned:
+            fh.close()
+
+
+def stats_to_json(
+    stats: Mapping[str, LatencyStats],
+    target: PathOrFile,
+    extra: Optional[Mapping[str, object]] = None,
+) -> None:
+    """Serialise named latency summaries (plus optional metadata) as JSON."""
+    payload: dict = {"latency": {k: v.as_millis() for k, v in stats.items()}}
+    if extra:
+        payload["meta"] = dict(extra)
+    fh, owned = _open(target)
+    try:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    finally:
+        if owned:
+            fh.close()
+
+
+def collector_summary(collector: MetricsCollector) -> dict:
+    """One-shot JSON-ready summary of an entire collector."""
+    from ..network.request import RequestOutcome
+    from ..workloads.catalog import TrafficClass
+
+    summary: dict = {"total": len(collector), "by_class": {}}
+    for cls in TrafficClass:
+        records = collector.filtered(traffic_class=cls)
+        if not records:
+            continue
+        outcomes = {o.value: 0 for o in RequestOutcome}
+        for r in records:
+            outcomes[r.outcome.value] += 1
+        summary["by_class"][cls.value] = {
+            "count": len(records),
+            "outcomes": {k: v for k, v in outcomes.items() if v},
+            "latency": LatencyStats.from_records(records).as_millis(),
+        }
+    return summary

@@ -1,0 +1,163 @@
+"""DOPE attack-region characterisation (paper Fig. 11).
+
+Fig. 11 defines DOPE's operating region on the (request type × traffic
+rate) plane: the set of attack configurations that **violate the power
+budget** while staying **undetected by the perimeter defence**.  This
+module sweeps that plane by running one short simulation per cell and
+classifying the outcome into four zones:
+
+* ``benign``      — within budget, undetected (harmless traffic);
+* ``dope``        — budget violated, undetected (the threat region);
+* ``detected``    — budget violated but the firewall caught it
+  (a conventional DoS: damage is bounded by the ban);
+* ``filtered``    — detected without even violating the budget
+  (high-volume, low-power floods).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import check_int, check_positive, require
+from ..power.budget import BudgetLevel
+from ..sim.config import SimulationConfig
+from ..sim.simulation import DataCenterSimulation
+from ..workloads.catalog import RequestType
+
+
+@dataclass(frozen=True)
+class RegionCell:
+    """One sweep point."""
+
+    type_name: str
+    rate_rps: float
+    num_agents: int
+    peak_power_w: float
+    budget_w: float
+    violated: bool
+    detected: bool
+
+    @property
+    def zone(self) -> str:
+        """Zone classification (see module docstring)."""
+        if self.violated and not self.detected:
+            return "dope"
+        if self.violated and self.detected:
+            return "detected"
+        if self.detected:
+            return "filtered"
+        return "benign"
+
+
+@dataclass
+class RegionResult:
+    """The swept grid with query helpers."""
+
+    cells: List[RegionCell]
+
+    def zone_of(self, type_name: str, rate_rps: float) -> str:
+        """Zone of the cell at (type, rate)."""
+        for cell in self.cells:
+            if cell.type_name == type_name and cell.rate_rps == rate_rps:
+                return cell.zone
+        raise KeyError(f"no cell for ({type_name!r}, {rate_rps})")
+
+    def dope_cells(self) -> List[RegionCell]:
+        """All cells inside the DOPE region."""
+        return [c for c in self.cells if c.zone == "dope"]
+
+    def dope_onset_rate(self, type_name: str) -> Optional[float]:
+        """Lowest swept rate at which *type_name* enters the DOPE region."""
+        rates = sorted(
+            c.rate_rps
+            for c in self.cells
+            if c.type_name == type_name and c.zone == "dope"
+        )
+        return rates[0] if rates else None
+
+    def as_rows(self) -> List[Tuple]:
+        """Flat rows for tabular reporting."""
+        return [
+            (
+                c.type_name,
+                c.rate_rps,
+                c.num_agents,
+                c.peak_power_w,
+                c.budget_w,
+                c.zone,
+            )
+            for c in self.cells
+        ]
+
+
+class DopeRegionAnalyzer:
+    """Sweep the (type × rate) plane with short unmanaged simulations.
+
+    Parameters
+    ----------
+    config:
+        Infrastructure to probe (budget level matters most).  The sweep
+        runs *without* a power-management scheme: the question Fig. 11
+        answers is where the raw vulnerability lies, not how schemes
+        respond.
+    window_s:
+        Simulated seconds per cell (short — peak detection only).
+    num_agents:
+        Attacker agents the rate is spread over; more agents push the
+        detection frontier to higher aggregate rates.
+    background_rate_rps:
+        Legitimate load present during the probe.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SimulationConfig] = None,
+        window_s: float = 60.0,
+        num_agents: int = 20,
+        background_rate_rps: float = 20.0,
+    ) -> None:
+        check_positive("window_s", window_s)
+        check_int("num_agents", num_agents, minimum=1)
+        check_positive("background_rate_rps", background_rate_rps)
+        self.config = config or SimulationConfig(budget_level=BudgetLevel.MEDIUM)
+        self.window_s = float(window_s)
+        self.num_agents = num_agents
+        self.background_rate_rps = float(background_rate_rps)
+
+    def probe(self, rtype: RequestType, rate_rps: float) -> RegionCell:
+        """Run one cell and classify it."""
+        check_positive("rate_rps", rate_rps)
+        sim = DataCenterSimulation(self.config)
+        sim.add_normal_traffic(rate_rps=self.background_rate_rps, num_users=50)
+        sim.add_flood(
+            mix=rtype,
+            rate_rps=rate_rps,
+            num_agents=self.num_agents,
+            label=f"probe-{rtype.name}",
+        )
+        sim.run(self.window_s)
+        peak = sim.meter.peak_power()
+        detected = sim.firewall.stats.bans > 0
+        return RegionCell(
+            type_name=rtype.name,
+            rate_rps=rate_rps,
+            num_agents=self.num_agents,
+            peak_power_w=peak,
+            budget_w=sim.budget.supply_w,
+            violated=peak > sim.budget.supply_w,
+            detected=detected,
+        )
+
+    def sweep(
+        self, types: Sequence[RequestType], rates_rps: Sequence[float]
+    ) -> RegionResult:
+        """Probe the full grid (``len(types) × len(rates)`` cells)."""
+        require(len(types) > 0, "need at least one type")
+        require(len(rates_rps) > 0, "need at least one rate")
+        cells = [
+            self.probe(rtype, float(rate)) for rtype in types for rate in rates_rps
+        ]
+        return RegionResult(cells)

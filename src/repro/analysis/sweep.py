@@ -1,0 +1,154 @@
+"""Parameter sweeps and multi-seed replication.
+
+The benches pin qualitative shapes from single seeded runs; robust
+claims need replication.  This module provides the two tools the
+robustness benches are built from:
+
+* :func:`replicate` — run an experiment across seeds and summarise any
+  scalar metrics with mean, standard deviation and a normal-theory
+  confidence interval;
+* :class:`GridSweep` — run an experiment over a cartesian parameter
+  grid (optionally replicated per cell) and collect results as flat
+  rows ready for :func:`~repro.analysis.report.format_table`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import check_fraction, check_int, require
+
+#: experiment(seed) -> {metric_name: value}
+Experiment = Callable[[int], Mapping[str, float]]
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Replicated statistics of one scalar metric."""
+
+    name: str
+    n: int
+    mean: float
+    std: float
+    ci_half_width: float
+
+    @property
+    def ci_low(self) -> float:
+        """Lower edge of the confidence interval."""
+        return self.mean - self.ci_half_width
+
+    @property
+    def ci_high(self) -> float:
+        """Upper edge of the confidence interval."""
+        return self.mean + self.ci_half_width
+
+    def __str__(self) -> str:
+        return f"{self.name}={self.mean:.4g}±{self.ci_half_width:.2g} (n={self.n})"
+
+
+# Two-sided z-quantiles for the usual confidence levels.
+_Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+def replicate(
+    experiment: Experiment,
+    seeds: Sequence[int],
+    confidence: float = 0.95,
+) -> Dict[str, MetricSummary]:
+    """Run *experiment* once per seed and summarise every metric.
+
+    The experiment returns a dict of scalar metrics; all runs must
+    return the same metric keys.
+    """
+    require(len(seeds) > 0, "need at least one seed")
+    check_fraction("confidence", confidence, inclusive=False)
+    z = _Z.get(round(confidence, 2))
+    if z is None:
+        raise ValueError(f"confidence must be one of {sorted(_Z)}")
+
+    results: Dict[str, List[float]] = {}
+    keys: Tuple[str, ...] = ()
+    for seed in seeds:
+        out = dict(experiment(int(seed)))
+        if not keys:
+            keys = tuple(sorted(out))
+            for k in keys:
+                results[k] = []
+        elif tuple(sorted(out)) != keys:
+            raise ValueError(
+                f"seed {seed} returned metrics {sorted(out)}; expected {list(keys)}"
+            )
+        for k in keys:
+            results[k].append(float(out[k]))
+
+    summaries = {}
+    n = len(seeds)
+    for k in keys:
+        arr = np.asarray(results[k])
+        std = float(arr.std(ddof=1)) if n > 1 else 0.0
+        summaries[k] = MetricSummary(
+            name=k,
+            n=n,
+            mean=float(arr.mean()),
+            std=std,
+            ci_half_width=z * std / math.sqrt(n) if n > 1 else 0.0,
+        )
+    return summaries
+
+
+class GridSweep:
+    """Cartesian sweep over named parameter axes.
+
+    Parameters
+    ----------
+    axes:
+        Mapping of parameter name → values to sweep.
+    """
+
+    def __init__(self, axes: Mapping[str, Sequence]) -> None:
+        require(len(axes) > 0, "GridSweep needs at least one axis")
+        for name, values in axes.items():
+            require(len(values) > 0, f"axis {name!r} has no values")
+        self.axes = {name: list(values) for name, values in axes.items()}
+
+    def points(self) -> List[Dict[str, object]]:
+        """All grid points as parameter dicts, in axis-major order."""
+        names = list(self.axes)
+        return [
+            dict(zip(names, combo))
+            for combo in itertools.product(*(self.axes[n] for n in names))
+        ]
+
+    def run(
+        self,
+        experiment: Callable[..., Mapping[str, float]],
+        seeds: Sequence[int] = (0,),
+        confidence: float = 0.95,
+    ) -> List[Dict[str, object]]:
+        """Run *experiment(**params, seed=s)* on every cell × seed.
+
+        Returns one row per grid point: the parameters plus each
+        metric's :class:`MetricSummary`.
+        """
+        rows = []
+        for params in self.points():
+            summaries = replicate(
+                lambda seed: experiment(**params, seed=seed),
+                seeds,
+                confidence=confidence,
+            )
+            row: Dict[str, object] = dict(params)
+            row.update(summaries)
+            rows.append(row)
+        return rows
+
+    def __len__(self) -> int:
+        n = 1
+        for values in self.axes.values():
+            n *= len(values)
+        return n

@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three operator-facing commands wrap the library's main workflows:
+
+``region``
+    Map the DOPE attack region of a configuration (paper Fig. 11).
+``compare``
+    Run the Table-2 scheme comparison under a DOPE flood at one
+    provisioning level (paper Figs. 16/17 for one column).
+``attack``
+    Launch the adaptive DOPE attacker against a victim configuration
+    and print its convergence trace (paper Fig. 12).
+
+All commands are deterministic per ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import DopeRegionAnalyzer, format_table
+from .core import AntiDopeScheme
+from .power import BudgetLevel, CappingScheme, ShavingScheme, TokenScheme
+from .sim import DataCenterSimulation, SimulationConfig
+from .workloads import (
+    ALL_TYPES,
+    COLLA_FILT,
+    K_MEANS,
+    WORD_COUNT,
+    TrafficClass,
+    uniform_mix,
+)
+
+SCHEMES = {
+    "capping": CappingScheme,
+    "shaving": ShavingScheme,
+    "token": TokenScheme,
+    "anti-dope": AntiDopeScheme,
+}
+
+
+def _budget(name: str) -> BudgetLevel:
+    return BudgetLevel[name.upper()]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    parser.add_argument(
+        "--budget",
+        choices=[level.name.lower() for level in BudgetLevel],
+        default="low",
+        help="provisioning level (default: low)",
+    )
+    parser.add_argument(
+        "--servers", type=int, default=4, help="rack size (default: 4)"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DOPE / Anti-DOPE simulation toolkit (ICPP 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    region = sub.add_parser("region", help="map the DOPE attack region (Fig 11)")
+    _add_common(region)
+    region.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=[50.0, 150.0, 300.0, 600.0],
+        help="attack rates to sweep",
+    )
+    region.add_argument("--agents", type=int, default=20)
+
+    compare = sub.add_parser(
+        "compare", help="compare Table-2 schemes under a DOPE flood"
+    )
+    _add_common(compare)
+    compare.add_argument("--attack-rate", type=float, default=220.0)
+    compare.add_argument("--duration", type=float, default=240.0)
+    compare.add_argument(
+        "--schemes",
+        nargs="+",
+        choices=sorted(SCHEMES),
+        default=sorted(SCHEMES),
+    )
+
+    attack = sub.add_parser(
+        "attack", help="run the adaptive DOPE attacker (Fig 12)"
+    )
+    _add_common(attack)
+    attack.add_argument("--agents", type=int, default=40)
+    attack.add_argument("--max-rate", type=float, default=1200.0)
+    attack.add_argument("--duration", type=float, default=400.0)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+
+
+def cmd_region(args: argparse.Namespace) -> int:
+    """``repro region`` — sweep and print the DOPE region map."""
+    analyzer = DopeRegionAnalyzer(
+        config=SimulationConfig(
+            budget_level=_budget(args.budget),
+            num_servers=args.servers,
+            seed=args.seed,
+        ),
+        num_agents=args.agents,
+    )
+    result = analyzer.sweep(ALL_TYPES, args.rates)
+    print(
+        format_table(
+            ["type"] + [f"{int(r)}rps" for r in args.rates],
+            [
+                (t.name, *(result.zone_of(t.name, r) for r in args.rates))
+                for t in ALL_TYPES
+            ],
+            title=f"DOPE region ({args.budget}, {args.agents} agents)",
+        )
+    )
+    dope = result.dope_cells()
+    print(f"\n{len(dope)} of {len(result.cells)} swept cells are in the DOPE region")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """``repro compare`` — run the scheme matrix at one budget."""
+    rows = []
+    for name in args.schemes:
+        sim = DataCenterSimulation(
+            SimulationConfig(
+                budget_level=_budget(args.budget),
+                num_servers=args.servers,
+                seed=args.seed,
+            ),
+            scheme=SCHEMES[name](),
+        )
+        sim.add_normal_traffic(rate_rps=40)
+        sim.add_flood(
+            mix=uniform_mix((COLLA_FILT, K_MEANS, WORD_COUNT)),
+            rate_rps=args.attack_rate,
+            num_agents=20,
+            start_s=30.0,
+        )
+        sim.run(args.duration)
+        stats = sim.latency_stats(
+            traffic_class=TrafficClass.NORMAL, start_s=60.0
+        )
+        avail = sim.availability_report(
+            sla_s=0.5, traffic_class=TrafficClass.NORMAL, start_s=60.0
+        )
+        rows.append(
+            (
+                name,
+                stats.mean * 1e3,
+                stats.p90 * 1e3,
+                avail.availability,
+                sim.meter.peak_power(),
+            )
+        )
+    print(
+        format_table(
+            ["scheme", "mean ms", "p90 ms", "availability", "peak W"],
+            rows,
+            title=(
+                f"Scheme comparison @ {args.budget}, "
+                f"{args.attack_rate:.0f} rps DOPE flood"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    """``repro attack`` — run the adaptive attacker and print its trace."""
+    sim = DataCenterSimulation(
+        SimulationConfig(
+            budget_level=_budget(args.budget),
+            num_servers=args.servers,
+            seed=args.seed,
+        ),
+        scheme=CappingScheme(),
+    )
+    sim.add_normal_traffic(rate_rps=30)
+    meter, budget = sim.meter, sim.budget
+
+    def effective() -> bool:
+        """Attacker oracle: did recent power exceed the budget?"""
+        recent = meter.powers()[-20:]
+        return bool(len(recent) and recent.max() > budget.supply_w)
+
+    attacker = sim.add_dope_attacker(
+        initial_rate_rps=50.0,
+        rate_step_rps=75.0,
+        max_rate_rps=args.max_rate,
+        num_agents=args.agents,
+        adjust_interval_s=20.0,
+        effect_signal=effective,
+    )
+    sim.run(args.duration)
+    print(
+        format_table(
+            ["t", "rate rps", "per-agent", "detected", "effective", "state"],
+            [
+                (
+                    a.time,
+                    a.rate_rps,
+                    a.rate_rps / a.num_agents,
+                    a.detected,
+                    a.effective,
+                    a.state.value,
+                )
+                for a in attacker.stats.adjustments
+            ],
+            title="DOPE probe-and-adjust trace",
+        )
+    )
+    print(f"\nconverged: {attacker.stats.converged}  "
+          f"final rate: {attacker.stats.final_rate:.0f} rps  "
+          f"bans: {sim.firewall.stats.bans}  "
+          f"peak: {sim.meter.peak_power():.0f} W / {budget.supply_w:.0f} W budget")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {"region": cmd_region, "compare": cmd_compare, "attack": cmd_attack}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution
+    sys.exit(main())

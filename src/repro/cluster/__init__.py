@@ -1,0 +1,22 @@
+"""Server/rack substrate: DVFS, power model, queueing servers."""
+
+from .autoscaler import AutoScaler, AutoScalerStats, ScalingEvent
+from .dvfs import PAPER_FREQUENCIES_GHZ, FrequencyLadder
+from .power_model import ServerPowerModel
+from .rack import Rack
+from .server import Server
+from .thermal import ServerThermalModel, ThermalMonitor, cooling_power_w
+
+__all__ = [
+    "PAPER_FREQUENCIES_GHZ",
+    "FrequencyLadder",
+    "ServerPowerModel",
+    "Server",
+    "Rack",
+    "AutoScaler",
+    "AutoScalerStats",
+    "ScalingEvent",
+    "ServerThermalModel",
+    "ThermalMonitor",
+    "cooling_power_w",
+]

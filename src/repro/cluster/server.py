@@ -1,0 +1,314 @@
+"""Leaf-server model: a DVFS-capable multi-worker FIFO queue.
+
+Each server has ``W`` worker slots and a bounded FIFO backlog.  Work is
+expressed in *nominal seconds* (seconds of service at ``f_max``); a
+worker drains it at the request type's ``speedup(f/f_max)``, so a DVFS
+transition mid-service stretches in-flight requests exactly as a real
+frequency drop would.  Power and utilisation are piecewise constant
+between state changes, so the energy integral accrued at every state
+change is exact, not sampled.
+
+The server is deliberately policy-free: power managers act on it only
+through :meth:`Server.set_level`, mirroring how RAPL/ACPI expose a
+per-node V/F knob to cluster controllers.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Deque, Dict, Optional
+
+import numpy as np
+
+from .._validation import check_int
+from ..network.request import Request, RequestOutcome
+from ..sim.engine import EventEngine
+from ..sim.events import Event
+from .dvfs import FrequencyLadder
+from .power_model import ServerPowerModel
+
+CompletionSink = Callable[[Request, RequestOutcome, float], None]
+
+
+class _ActiveEntry:
+    """Book-keeping for one in-service request."""
+
+    __slots__ = ("request", "event", "last_resume")
+
+    def __init__(self, request: Request, event: Event, last_resume: float) -> None:
+        self.request = request
+        self.event = event
+        self.last_resume = last_resume
+
+
+class Server:
+    """One simulated leaf node.
+
+    Parameters
+    ----------
+    server_id:
+        Stable integer identity (index within the rack).
+    engine:
+        The discrete-event engine driving the simulation.
+    rng:
+        Seeded generator for service-time noise.
+    power_model, ladder:
+        Hardware models; defaults reproduce the paper's 100 W node with
+        the 1.2–2.4 GHz ladder.
+    queue_capacity:
+        Maximum backlog (excluding in-service requests).  Arrivals
+        beyond it are rejected — the knob behind availability loss.
+    completion_sink:
+        Callback invoked with ``(request, outcome, time)`` when a
+        request finishes service.
+    queue_timeout_s:
+        Maximum time a request may wait in the backlog.  A request
+        whose wait exceeds it is abandoned (``TIMED_OUT``) when a
+        worker would otherwise pick it up — the client has long since
+        given up.  ``None`` disables timeouts.
+    """
+
+    def __init__(
+        self,
+        server_id: int,
+        engine: EventEngine,
+        rng: np.random.Generator,
+        power_model: Optional[ServerPowerModel] = None,
+        ladder: Optional[FrequencyLadder] = None,
+        queue_capacity: int = 512,
+        completion_sink: Optional[CompletionSink] = None,
+        queue_timeout_s: Optional[float] = None,
+    ) -> None:
+        check_int("server_id", server_id, minimum=0)
+        check_int("queue_capacity", queue_capacity, minimum=0)
+        if queue_timeout_s is not None and queue_timeout_s <= 0:
+            raise ValueError(
+                f"queue_timeout_s must be > 0, got {queue_timeout_s}"
+            )
+        self.server_id = server_id
+        self.engine = engine
+        self.rng = rng
+        self.power_model = power_model or ServerPowerModel()
+        self.ladder = ladder or FrequencyLadder()
+        self.queue_capacity = queue_capacity
+        self.completion_sink = completion_sink
+        self.queue_timeout_s = queue_timeout_s
+
+        self.level = self.ladder.max_level
+        self.powered_on = True
+        self._queue: Deque[Request] = deque()
+        self._active: Dict[int, _ActiveEntry] = {}
+
+        # Exact piecewise-constant integrals.
+        self._energy_j = 0.0
+        self._busy_worker_seconds = 0.0
+        self._last_accrual = engine.now
+
+        # Counters.
+        self.completed = 0
+        self.rejected = 0
+        self.timed_out = 0
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        """Worker slots available for concurrent service."""
+        return self.power_model.num_workers
+
+    @property
+    def busy_workers(self) -> int:
+        """Workers currently serving a request."""
+        return len(self._active)
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting in the backlog."""
+        return len(self._queue)
+
+    @property
+    def in_system(self) -> int:
+        """Waiting plus in-service requests."""
+        return len(self._queue) + len(self._active)
+
+    @property
+    def freq_ratio(self) -> float:
+        """Current ``f / f_max``."""
+        return self.ladder.ratio(self.level)
+
+    @property
+    def frequency_ghz(self) -> float:
+        """Current operating frequency in GHz."""
+        return self.ladder.frequency(self.level)
+
+    def current_power(self) -> float:
+        """Instantaneous power draw in watts (zero when powered off)."""
+        if not self.powered_on:
+            return 0.0
+        return self.power_model.power(
+            (e.request.rtype for e in self._active.values()), self.freq_ratio
+        )
+
+    def energy_joules(self) -> float:
+        """Energy consumed since construction (exact integral)."""
+        self._accrue()
+        return self._energy_j
+
+    def busy_worker_seconds(self) -> float:
+        """Integral of busy workers over time (utilisation numerator)."""
+        self._accrue()
+        return self._busy_worker_seconds
+
+    # ------------------------------------------------------------------
+    # Request lifecycle
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> bool:
+        """Offer *request* to the server.
+
+        Returns ``False`` (and counts a rejection) when the backlog is
+        full; the caller is responsible for recording the drop outcome.
+        """
+        request.server_id = self.server_id
+        if not self.powered_on:
+            self.rejected += 1
+            return False
+        if len(self._active) < self.num_workers:
+            self._start(request)
+            return True
+        if len(self._queue) >= self.queue_capacity:
+            self.rejected += 1
+            return False
+        self._queue.append(request)
+        return True
+
+    def _start(self, request: Request) -> None:
+        self._accrue()
+        now = self.engine.now
+        request.start_service_time = now
+        request.remaining_work = self._sample_work(request)
+        speed = request.rtype.speedup(self.freq_ratio)
+        delay = request.remaining_work / speed
+        event = self.engine.schedule(delay, lambda r=request: self._finish(r))
+        self._active[request.request_id] = _ActiveEntry(request, event, now)
+
+    def _sample_work(self, request: Request) -> float:
+        cv = request.rtype.service_cv
+        base = request.rtype.base_service_s
+        if cv <= 0:
+            return base
+        sigma2 = math.log(1.0 + cv * cv)
+        mu = -0.5 * sigma2
+        return base * float(self.rng.lognormal(mean=mu, sigma=math.sqrt(sigma2)))
+
+    def _finish(self, request: Request) -> None:
+        entry = self._active.get(request.request_id)
+        if entry is None:  # already rescheduled/cancelled — stale event
+            return
+        # Accrue the busy period *before* removing the request, so its
+        # final service slice is charged at the busy power level.
+        self._accrue()
+        del self._active[request.request_id]
+        self.completed += 1
+        now = self.engine.now
+        if self.completion_sink is not None:
+            self.completion_sink(request, RequestOutcome.COMPLETED, now)
+        if request.on_terminal is not None:
+            request.on_terminal(request, RequestOutcome.COMPLETED, now)
+        self._pull_next()
+
+    def _pull_next(self) -> None:
+        """Promote queued requests, abandoning ones past their timeout."""
+        now = self.engine.now
+        while self._queue and len(self._active) < self.num_workers:
+            queued = self._queue.popleft()
+            if (
+                self.queue_timeout_s is not None
+                and now - queued.arrival_time > self.queue_timeout_s
+            ):
+                self.timed_out += 1
+                if self.completion_sink is not None:
+                    self.completion_sink(queued, RequestOutcome.TIMED_OUT, now)
+                if queued.on_terminal is not None:
+                    queued.on_terminal(queued, RequestOutcome.TIMED_OUT, now)
+                continue
+            self._start(queued)
+
+    # ------------------------------------------------------------------
+    # DVFS
+    # ------------------------------------------------------------------
+    def set_level(self, level: int) -> None:
+        """Move the server to frequency *level*, rescaling in-flight work.
+
+        Remaining work of every in-service request is drained at the old
+        speed up to "now", then its departure is rescheduled at the new
+        speed — the exact semantics of a V/F transition under a
+        work-conserving processor.
+        """
+        level = self.ladder.clamp(level)
+        if level == self.level:
+            return
+        self._accrue()
+        now = self.engine.now
+        old_ratio = self.freq_ratio
+        self.level = level
+        new_ratio = self.freq_ratio
+        for entry in self._active.values():
+            request = entry.request
+            old_speed = request.rtype.speedup(old_ratio)
+            elapsed = now - entry.last_resume
+            request.remaining_work = max(
+                0.0, request.remaining_work - elapsed * old_speed
+            )
+            entry.event.cancel()
+            new_speed = request.rtype.speedup(new_ratio)
+            delay = request.remaining_work / new_speed
+            entry.event = self.engine.schedule(
+                delay, lambda r=request: self._finish(r)
+            )
+            entry.last_resume = now
+
+    def set_powered(self, on: bool) -> None:
+        """Power the node on or off (auto-scaling / power gating).
+
+        Powering off requires the server to be drained — a live node is
+        never yanked.  The energy integral accrues at the old power
+        level up to the switch instant, so gated time contributes zero.
+        """
+        if on == self.powered_on:
+            return
+        if not on and self.in_system > 0:
+            raise RuntimeError(
+                f"cannot power off server {self.server_id}: "
+                f"{self.in_system} requests in system"
+            )
+        self._accrue()
+        self.powered_on = on
+
+    def step_down(self, steps: int = 1) -> None:
+        """Lower frequency by *steps* ladder positions."""
+        self.set_level(self.ladder.step_down(self.level, steps))
+
+    def step_up(self, steps: int = 1) -> None:
+        """Raise frequency by *steps* ladder positions."""
+        self.set_level(self.ladder.step_up(self.level, steps))
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _accrue(self) -> None:
+        now = self.engine.now
+        dt = now - self._last_accrual
+        if dt <= 0:
+            self._last_accrual = now
+            return
+        self._energy_j += self.current_power() * dt
+        self._busy_worker_seconds += len(self._active) * dt
+        self._last_accrual = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Server(#{self.server_id}, f={self.frequency_ghz:.1f}GHz, "
+            f"busy={self.busy_workers}/{self.num_workers}, q={self.queue_length})"
+        )

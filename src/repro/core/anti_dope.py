@@ -1,0 +1,145 @@
+"""Anti-DOPE: the full framework (paper Section 5, Table 2 row 4).
+
+Anti-DOPE couples the two halves the rest of this package provides:
+
+* **PDF** (:mod:`repro.core.pdf`) on the load-balancer side splits
+  traffic by the offline suspect list and isolates high-power requests
+  on a dedicated server pool;
+* **RPM** (:mod:`repro.core.rpm`) on the power-manager side enforces
+  the budget with differentiated DVFS (DPM, Algorithm 1), throttling
+  the suspect pool first and using the battery only as a transition
+  medium while V/F settings reconfigure.
+
+:class:`AntiDopeScheme` packages both behind the standard
+:class:`~repro.power.manager.PowerManagementScheme` interface, so it is
+a drop-in peer of Capping/Shaving/Token — "orthogonal to prior power
+management schemes and requires minute system modification".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from .._validation import check_fraction, check_int
+from ..cluster.server import Server
+from ..power.manager import PowerManagementScheme
+from ..workloads.catalog import ALL_TYPES, RequestType
+from .dpm import DPMPlanner
+from .pdf import PDFPolicy
+from .rpm import RequestAwarePowerManager
+from .suspect_list import SuspectList
+
+
+class AntiDopeScheme(PowerManagementScheme):
+    """Request-aware power management (PDF + RPM).
+
+    Parameters
+    ----------
+    suspect_pool_size:
+        Servers isolated for suspect traffic (default 1, as in the
+        paper's 4-node mini rack).
+    suspect_threshold_fraction:
+        Offline-profiling threshold: a URL is suspect when its
+        full-load power reaches this fraction of nameplate.
+    use_battery_transition:
+        When False, RPM runs without the battery ride-through — the
+        ablation arm for the "battery as transition medium" design
+        choice.
+    suspect_queue_factor:
+        Backlog bound of suspect-pool servers, as a multiple of their
+        worker count.  This is DPM's request-regulation knob ("regulates
+        the length of throttled requests"): a short suspect queue sheds
+        excess high-power requests instead of letting a flood build an
+        unbounded backlog that legitimate heavy requests would have to
+        wait behind.  ``None`` leaves the servers' default backlog.
+    profiled_types:
+        Request types covered by the offline profile (defaults to the
+        full catalog).
+    suspect_list:
+        Pre-built suspect list; overrides offline profiling entirely.
+    hysteresis:
+        DPM raise-guard band.
+    """
+
+    name = "anti-dope"
+
+    def __init__(
+        self,
+        suspect_pool_size: int = 1,
+        suspect_threshold_fraction: float = 0.70,
+        use_battery_transition: bool = True,
+        suspect_queue_factor: Optional[float] = 4.0,
+        profiled_types: Sequence[RequestType] = ALL_TYPES,
+        suspect_list: Optional[SuspectList] = None,
+        hysteresis: float = 0.02,
+    ) -> None:
+        super().__init__()
+        check_int("suspect_pool_size", suspect_pool_size, minimum=1)
+        check_fraction(
+            "suspect_threshold_fraction", suspect_threshold_fraction, inclusive=False
+        )
+        check_fraction("hysteresis", hysteresis)
+        if suspect_queue_factor is not None and suspect_queue_factor < 1.0:
+            raise ValueError(
+                f"suspect_queue_factor must be >= 1, got {suspect_queue_factor}"
+            )
+        self.suspect_pool_size = suspect_pool_size
+        self.suspect_threshold_fraction = suspect_threshold_fraction
+        self.use_battery_transition = use_battery_transition
+        self.suspect_queue_factor = suspect_queue_factor
+        self.profiled_types: Tuple[RequestType, ...] = tuple(profiled_types)
+        self.suspect_list = suspect_list
+        self.hysteresis = hysteresis
+        self.pdf: Optional[PDFPolicy] = None
+        self.rpm: Optional[RequestAwarePowerManager] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, engine, rack, budget, battery, slot_s) -> None:
+        """Attach infrastructure, build the suspect list, PDF and RPM."""
+        super().bind(engine, rack, budget, battery, slot_s)
+        if self.suspect_list is None:
+            self.suspect_list = SuspectList.from_model(
+                self.profiled_types,
+                rack.power_model,
+                threshold_fraction=self.suspect_threshold_fraction,
+            )
+        self.pdf = PDFPolicy(
+            self.suspect_list, rack.servers, self.suspect_pool_size
+        )
+        if self.suspect_queue_factor is not None:
+            for server in self.pdf.suspect_pool:
+                cap = int(self.suspect_queue_factor * server.num_workers)
+                server.queue_capacity = min(server.queue_capacity, cap)
+        self.rpm = RequestAwarePowerManager(
+            suspect_pool=self.pdf.suspect_pool,
+            innocent_pool=self.pdf.innocent_pool,
+            budget=budget,
+            battery=battery if self.use_battery_transition else None,
+            planner=DPMPlanner(rack.ladder.max_level, self.hysteresis),
+            slot_s=slot_s,
+        )
+
+    def forwarding_policy(self, servers: Sequence[Server]):
+        """PDF — the suspect-aware forwarding policy for the NLB."""
+        self._require_bound()
+        return self.pdf
+
+    def step(self) -> None:
+        """One RPM control slot."""
+        self._require_bound()
+        self.rpm.step(self.engine.now)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def suspect_server_ids(self):
+        """Rack ids of the isolated suspect pool."""
+        self._require_bound()
+        return self.pdf.suspect_server_ids
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pool = self.suspect_server_ids if self.bound else "?"
+        return f"AntiDopeScheme(suspect_pool={pool})"

@@ -1,0 +1,189 @@
+"""Online URL power profiling.
+
+The paper builds its suspect list from *offline* analysis — practical
+when the service catalog is known, but new endpoints appear and real
+deployments cannot re-run a characterisation campaign for each.  This
+extension learns the per-URL power profile at runtime from nothing an
+operator doesn't already have: per-server power telemetry plus the set
+of requests each server is executing.
+
+Each sampling tick of each server yields one linear observation:
+``dynamic_power = Σ_url count(url) · w(url)``, where ``count`` is the
+number of in-service requests per URL and ``w`` the unknown per-worker
+power of that URL.  The profiler accumulates the normal equations
+online (``A += c·cᵀ``, ``b += P_dyn·c``) and solves the least-squares
+system when asked, which disentangles co-located heavy and light
+requests — naive equal-split attribution would credit a light request
+with its heavy neighbour's watts.  From the solved weights it
+extrapolates a full-load power estimate per URL (idle + w × workers)
+and emits a :class:`~repro.core.suspect_list.SuspectList` via the
+measurement path, so PDF can be (re)configured live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from .._validation import check_int, check_positive
+from ..cluster.rack import Rack
+from ..sim.engine import EventEngine
+from ..sim.events import PRIORITY_MONITOR
+from .suspect_list import SuspectList
+
+
+@dataclass
+class UrlObservation:
+    """Per-URL sample accounting (the regression holds the power)."""
+
+    samples: int = 0
+
+
+class OnlineUrlPowerProfiler:
+    """Learn per-URL power from live telemetry.
+
+    Parameters
+    ----------
+    engine, rack:
+        Simulation wiring; the profiler reads each server's power and
+        in-service request set.
+    interval_s:
+        Sampling period.
+    min_samples:
+        Minimum per-URL samples before the URL is considered profiled.
+    """
+
+    def __init__(
+        self,
+        engine: EventEngine,
+        rack: Rack,
+        interval_s: float = 1.0,
+        min_samples: int = 20,
+    ) -> None:
+        check_positive("interval_s", interval_s)
+        check_int("min_samples", min_samples, minimum=1)
+        self.engine = engine
+        self.rack = rack
+        self.interval_s = float(interval_s)
+        self.min_samples = min_samples
+        self.observations: Dict[str, UrlObservation] = {}
+        # Online normal equations for dyn_power = counts · weights.
+        self._url_index: Dict[str, int] = {}
+        self._ata = np.zeros((0, 0))
+        self._atb = np.zeros(0)
+        self._stop: Optional[Callable[[], None]] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin sampling."""
+        if self._stop is not None:
+            raise RuntimeError("profiler already started")
+        self._stop = self.engine.every(
+            self.interval_s, self.sample, priority=PRIORITY_MONITOR
+        )
+
+    def stop(self) -> None:
+        """Stop sampling (observations are kept)."""
+        if self._stop is not None:
+            self._stop()
+            self._stop = None
+
+    # ------------------------------------------------------------------
+    # Attribution
+    # ------------------------------------------------------------------
+    def _index_of(self, url: str) -> int:
+        idx = self._url_index.get(url)
+        if idx is None:
+            idx = len(self._url_index)
+            self._url_index[url] = idx
+            # Grow the normal equations by one dimension.
+            k = idx + 1
+            ata = np.zeros((k, k))
+            ata[: k - 1, : k - 1] = self._ata
+            self._ata = ata
+            atb = np.zeros(k)
+            atb[: k - 1] = self._atb
+            self._atb = atb
+        return idx
+
+    def sample(self) -> None:
+        """One telemetry tick: record an observation per busy server."""
+        for server in self.rack.servers:
+            active = list(server._active.values())
+            if not active or not server.powered_on:
+                continue
+            dynamic = max(
+                0.0,
+                server.current_power()
+                - server.power_model.idle_power(server.freq_ratio),
+            )
+            seen = {}
+            for entry in active:
+                url = entry.request.rtype.url
+                idx = self._index_of(url)
+                seen[idx] = seen.get(idx, 0) + 1
+                obs = self.observations.setdefault(url, UrlObservation())
+                obs.samples += 1
+            k = len(self._url_index)
+            c = np.zeros(k)
+            for idx, count in seen.items():
+                c[idx] = count
+            self._ata += np.outer(c, c)
+            self._atb += dynamic * c
+
+    def _solved_weights(self) -> Dict[str, float]:
+        """Least-squares per-worker dynamic power per URL."""
+        if not self._url_index:
+            return {}
+        weights, *_ = np.linalg.lstsq(self._ata, self._atb, rcond=None)
+        weights = np.clip(weights, 0.0, None)
+        return {url: float(weights[idx]) for url, idx in self._url_index.items()}
+
+    # ------------------------------------------------------------------
+    # Outputs
+    # ------------------------------------------------------------------
+    def profiled_urls(self) -> List[str]:
+        """URLs with at least ``min_samples`` observations."""
+        return sorted(
+            url
+            for url, obs in self.observations.items()
+            if obs.samples >= self.min_samples
+        )
+
+    def full_load_estimate_w(self, url: str) -> float:
+        """Extrapolated power of a server fully loaded with *url*."""
+        obs = self.observations.get(url)
+        if obs is None or obs.samples < self.min_samples:
+            raise KeyError(f"url {url!r} not sufficiently profiled")
+        model = self.rack.power_model
+        worker_w = self._solved_weights()[url]
+        return model.idle_power(1.0) + worker_w * model.num_workers
+
+    def to_suspect_list(self, threshold_fraction: float = 0.70) -> SuspectList:
+        """Emit a suspect list from the profiled URLs.
+
+        Raises ``ValueError`` when nothing is sufficiently profiled —
+        an unprofiled system must not silently classify everything
+        innocent.
+        """
+        urls = self.profiled_urls()
+        if not urls:
+            raise ValueError(
+                f"no URL has reached {self.min_samples} samples yet"
+            )
+        samples = [(url, self.full_load_estimate_w(url)) for url in urls]
+        return SuspectList.from_measurements(
+            samples,
+            nameplate_w=self.rack.power_model.nameplate_w,
+            threshold_fraction=threshold_fraction,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OnlineUrlPowerProfiler({len(self.profiled_urls())} profiled "
+            f"of {len(self.observations)} seen)"
+        )

@@ -1,0 +1,99 @@
+"""PDF — power-driven forwarding (Anti-DOPE step 1, Section 5.1).
+
+PDF lives on the network load balancer.  For every incoming request the
+HTTP-process module classifies the access URL against the offline
+suspect list, and the URL-based forwarding module redirects suspects to
+a dedicated *suspect pool* of backend servers while innocent requests
+keep the full remaining pool.  The isolation is what lets step 2 (RPM)
+throttle power attacks without collateral damage: when DVFS has to
+bite, it bites servers that mostly hold high-power (probably hostile)
+requests.
+
+:class:`PDFPolicy` implements the NLB :class:`ForwardingPolicy`
+interface, so Anti-DOPE drops into the ingress pipeline exactly where a
+round-robin policy would sit — "minute system modification".
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .._validation import check_int, require
+from ..cluster.server import Server
+from ..network.load_balancer import RoundRobinPolicy
+from ..network.request import Request
+from .suspect_list import SuspectList
+
+
+def split_pools(
+    servers: Sequence[Server], suspect_pool_size: int
+) -> tuple:
+    """Partition *servers* into (innocent_pool, suspect_pool).
+
+    The *last* ``suspect_pool_size`` servers in rack order form the
+    suspect pool; a stable, position-based carve-out so that the power
+    manager and the forwarder always agree on which nodes are isolated.
+    """
+    check_int("suspect_pool_size", suspect_pool_size, minimum=1)
+    require(
+        suspect_pool_size < len(servers),
+        f"suspect pool ({suspect_pool_size}) must leave at least one "
+        f"innocent server out of {len(servers)}",
+    )
+    cut = len(servers) - suspect_pool_size
+    return list(servers[:cut]), list(servers[cut:])
+
+
+class PDFPolicy:
+    """Suspect-aware forwarding policy.
+
+    Parameters
+    ----------
+    suspect_list:
+        Offline URL classification.
+    servers:
+        Full backend pool in rack order.
+    suspect_pool_size:
+        Number of servers isolated for suspect traffic (paper's mini
+        rack isolates 1 of 4 by default).
+    """
+
+    def __init__(
+        self,
+        suspect_list: SuspectList,
+        servers: Sequence[Server],
+        suspect_pool_size: int = 1,
+    ) -> None:
+        self.suspect_list = suspect_list
+        self.innocent_pool, self.suspect_pool = split_pools(
+            servers, suspect_pool_size
+        )
+        self._innocent_rr = RoundRobinPolicy()
+        self._suspect_rr = RoundRobinPolicy()
+        self.suspect_forwarded = 0
+        self.innocent_forwarded = 0
+
+    def select(self, request: Request, servers: Sequence[Server]) -> Server:
+        """Route by suspect-list classification of the request URL.
+
+        The *servers* argument (the NLB's full pool) is ignored in
+        favour of the pools fixed at construction: the carve-out must
+        stay consistent with the power manager's view.
+        """
+        if self.suspect_list.is_suspect(request.url):
+            self.suspect_forwarded += 1
+            return self._suspect_rr.select(request, self.suspect_pool)
+        self.innocent_forwarded += 1
+        return self._innocent_rr.select(request, self.innocent_pool)
+
+    @property
+    def suspect_server_ids(self) -> List[int]:
+        """Rack ids of the isolated pool (the DPM throttle targets)."""
+        return [s.server_id for s in self.suspect_pool]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PDFPolicy(suspect_pool={self.suspect_server_ids}, "
+            f"suspect_fwd={self.suspect_forwarded}, "
+            f"innocent_fwd={self.innocent_forwarded})"
+        )

@@ -1,0 +1,163 @@
+"""Suspect list: offline power profiling of service endpoints.
+
+The cornerstone of Anti-DOPE (Section 5.2): for an online
+data-intensive application, requests for the same URL need similar
+resources and draw similar power, so a per-URL power profile built
+*offline* classifies incoming traffic without inspecting payloads or
+sources.  A URL whose power demand exceeds a threshold is *suspect* —
+not necessarily malicious, but capable of being weaponised — and PDF
+forwards it to the isolated suspect pool.
+
+Two construction paths are provided:
+
+* :meth:`SuspectList.from_model` — closed-form profiling from the
+  server power model (what the paper's offline characterisation
+  produces);
+* :meth:`SuspectList.from_measurements` — empirical profiling from
+  observed ``(url, power)`` samples, for deployments where the model
+  is unknown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import check_fraction, require
+from ..cluster.power_model import ServerPowerModel
+from ..workloads.catalog import RequestType
+
+
+@dataclass(frozen=True)
+class UrlPowerProfile:
+    """Offline profile of one endpoint."""
+
+    url: str
+    full_load_power_w: float
+    energy_per_request_j: float
+    suspect: bool
+
+
+class SuspectList:
+    """URL → suspect classification with the backing profiles.
+
+    Parameters
+    ----------
+    profiles:
+        Per-URL profiles; the classification consulted by PDF.
+    threshold_w:
+        The full-load power threshold that split suspect from innocent
+        (kept for reporting and ablation sweeps).
+    """
+
+    def __init__(
+        self, profiles: Mapping[str, UrlPowerProfile], threshold_w: float
+    ) -> None:
+        require(len(profiles) > 0, "SuspectList needs at least one profile")
+        self._profiles: Dict[str, UrlPowerProfile] = dict(profiles)
+        self.threshold_w = float(threshold_w)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_model(
+        cls,
+        types: Sequence[RequestType],
+        power_model: ServerPowerModel,
+        threshold_fraction: float = 0.70,
+    ) -> "SuspectList":
+        """Profile *types* analytically against *power_model*.
+
+        A type is suspect when the power of a server fully loaded with
+        it at nominal frequency reaches ``threshold_fraction`` of
+        nameplate.  With the paper's catalog and the default 0.70,
+        Colla-Filt, K-means and Word-Count are suspect while Text-Cont
+        and volume floods are innocent — matching the attack types the
+        paper observes raising power at low rates (Fig. 4a).
+        """
+        check_fraction("threshold_fraction", threshold_fraction, inclusive=False)
+        require(len(types) > 0, "need at least one request type")
+        threshold_w = power_model.nameplate_w * threshold_fraction
+        profiles = {}
+        for rtype in types:
+            full = power_model.full_load_power(rtype, 1.0)
+            profiles[rtype.url] = UrlPowerProfile(
+                url=rtype.url,
+                full_load_power_w=full,
+                energy_per_request_j=power_model.energy_per_request(rtype, 1.0),
+                suspect=full >= threshold_w,
+            )
+        return cls(profiles, threshold_w)
+
+    @classmethod
+    def from_measurements(
+        cls,
+        samples: Iterable[Tuple[str, float]],
+        nameplate_w: float,
+        threshold_fraction: float = 0.70,
+    ) -> "SuspectList":
+        """Profile empirically from ``(url, observed_power_w)`` samples.
+
+        The mean observed power per URL stands in for the full-load
+        profile; energy per request is unknown and reported as NaN.
+        """
+        check_fraction("threshold_fraction", threshold_fraction, inclusive=False)
+        by_url: Dict[str, List[float]] = {}
+        for url, power in samples:
+            by_url.setdefault(url, []).append(float(power))
+        require(len(by_url) > 0, "no measurement samples provided")
+        threshold_w = nameplate_w * threshold_fraction
+        profiles = {}
+        for url, powers in by_url.items():
+            mean_power = float(np.mean(powers))
+            profiles[url] = UrlPowerProfile(
+                url=url,
+                full_load_power_w=mean_power,
+                energy_per_request_j=float("nan"),
+                suspect=mean_power >= threshold_w,
+            )
+        return cls(profiles, threshold_w)
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def is_suspect(self, url: str) -> bool:
+        """Classify *url*; unknown URLs default to innocent (KISS rule).
+
+        Defaulting unknown endpoints to innocent keeps false positives
+        off new legitimate services; a deployment wanting the opposite
+        bias can pre-register a catch-all profile.
+        """
+        profile = self._profiles.get(url)
+        return profile.suspect if profile is not None else False
+
+    def profile(self, url: str) -> UrlPowerProfile:
+        """The backing profile for *url* (KeyError when unprofiled)."""
+        try:
+            return self._profiles[url]
+        except KeyError:
+            raise KeyError(
+                f"url {url!r} not profiled; known: {sorted(self._profiles)}"
+            ) from None
+
+    @property
+    def suspect_urls(self) -> List[str]:
+        """All URLs classified suspect, sorted."""
+        return sorted(u for u, p in self._profiles.items() if p.suspect)
+
+    @property
+    def innocent_urls(self) -> List[str]:
+        """All URLs classified innocent, sorted."""
+        return sorted(u for u, p in self._profiles.items() if not p.suspect)
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SuspectList(threshold={self.threshold_w:.0f}W, "
+            f"suspect={self.suspect_urls})"
+        )

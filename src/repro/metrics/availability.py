@@ -1,0 +1,87 @@
+"""Service-availability accounting (paper Fig. 9).
+
+The paper measures "severe decline in service availability" when
+power-insufficient clusters face floods.  Availability here is the
+fraction of *offered* legitimate requests that were served within an
+SLA deadline — requests rejected anywhere in the pipeline (firewall,
+token bucket, queue overflow) and requests served too late both count
+against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from .._validation import check_positive
+from ..network.request import CompletionRecord, RequestOutcome
+
+
+@dataclass(frozen=True)
+class AvailabilityReport:
+    """Availability decomposition over one record population."""
+
+    offered: int
+    served_within_sla: int
+    served_late: int
+    dropped: int
+    sla_s: float
+
+    @property
+    def availability(self) -> float:
+        """Fraction of offered requests served within the SLA."""
+        return self.served_within_sla / self.offered if self.offered else 1.0
+
+    @property
+    def drop_fraction(self) -> float:
+        """Fraction of offered requests rejected before service."""
+        return self.dropped / self.offered if self.offered else 0.0
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Fraction served at all (late or not)."""
+        if not self.offered:
+            return 1.0
+        return (self.served_within_sla + self.served_late) / self.offered
+
+    def __str__(self) -> str:
+        return (
+            f"availability={self.availability * 100:.1f}% "
+            f"(offered={self.offered}, in-SLA={self.served_within_sla}, "
+            f"late={self.served_late}, dropped={self.dropped}, "
+            f"SLA={self.sla_s * 1e3:.0f}ms)"
+        )
+
+
+def availability(
+    records: Iterable[CompletionRecord],
+    sla_s: float = 1.0,
+) -> AvailabilityReport:
+    """Compute availability of *records* against an SLA deadline.
+
+    Parameters
+    ----------
+    records:
+        The (pre-filtered) population — typically the legitimate class
+        over the observation window.
+    sla_s:
+        Response-time deadline in seconds.
+    """
+    check_positive("sla_s", sla_s)
+    offered = in_sla = late = dropped = 0
+    for record in records:
+        offered += 1
+        if record.outcome is RequestOutcome.COMPLETED:
+            if record.response_time <= sla_s:
+                in_sla += 1
+            else:
+                late += 1
+        else:
+            dropped += 1
+    return AvailabilityReport(
+        offered=offered,
+        served_within_sla=in_sla,
+        served_late=late,
+        dropped=dropped,
+        sla_s=sla_s,
+    )

@@ -1,0 +1,125 @@
+"""Windowed latency timelines.
+
+Figures like 15a plot behaviour *over time*; latency needs the same
+treatment: bucket completion records onto a fixed time grid and compute
+per-bucket statistics, yielding the ``mean(t)`` / ``p90(t)`` series a
+dashboard or a plot consumes.  Bucketing is by *arrival* time, matching
+the collector's windowing convention.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .._validation import check_positive, require
+from ..network.request import CompletionRecord
+from .latency import LatencyStats
+
+
+@dataclass(frozen=True)
+class TimelineBucket:
+    """Statistics of one time bucket."""
+
+    start_s: float
+    end_s: float
+    offered: int
+    completed: int
+    stats: LatencyStats
+
+    @property
+    def mid_s(self) -> float:
+        """Bucket midpoint (the natural x coordinate)."""
+        return 0.5 * (self.start_s + self.end_s)
+
+    @property
+    def drop_fraction(self) -> float:
+        """Offered-but-not-completed fraction in this bucket."""
+        if not self.offered:
+            return 0.0
+        return 1.0 - self.completed / self.offered
+
+
+class LatencyTimeline:
+    """Fixed-grid latency series over a record population.
+
+    Parameters
+    ----------
+    records:
+        The (pre-filtered) completion records.
+    bucket_s:
+        Bucket width in seconds.
+    start_s, end_s:
+        Grid bounds; default to the records' arrival span.
+    """
+
+    def __init__(
+        self,
+        records: Iterable[CompletionRecord],
+        bucket_s: float = 10.0,
+        start_s: Optional[float] = None,
+        end_s: Optional[float] = None,
+    ) -> None:
+        check_positive("bucket_s", bucket_s)
+        recs = list(records)
+        require(len(recs) > 0, "LatencyTimeline needs at least one record")
+        arrivals = [r.arrival_time for r in recs]
+        lo = min(arrivals) if start_s is None else float(start_s)
+        hi = max(arrivals) if end_s is None else float(end_s)
+        require(hi >= lo, "end_s must be >= start_s")
+        n = max(1, int(math.ceil((hi - lo) / bucket_s + 1e-12)))
+        grid: List[List[CompletionRecord]] = [[] for _ in range(n)]
+        for r in recs:
+            if not lo <= r.arrival_time <= hi:
+                continue
+            idx = min(int((r.arrival_time - lo) / bucket_s), n - 1)
+            grid[idx].append(r)
+
+        self.bucket_s = float(bucket_s)
+        self.buckets: List[TimelineBucket] = []
+        for i, bucket_records in enumerate(grid):
+            completed = [r for r in bucket_records if r.completed]
+            self.buckets.append(
+                TimelineBucket(
+                    start_s=lo + i * bucket_s,
+                    end_s=lo + (i + 1) * bucket_s,
+                    offered=len(bucket_records),
+                    completed=len(completed),
+                    stats=LatencyStats.from_records(completed),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Series accessors (plot-ready arrays)
+    # ------------------------------------------------------------------
+    def times(self) -> np.ndarray:
+        """Bucket midpoints."""
+        return np.array([b.mid_s for b in self.buckets])
+
+    def means(self) -> np.ndarray:
+        """Per-bucket mean response time (NaN for empty buckets)."""
+        return np.array([b.stats.mean for b in self.buckets])
+
+    def p90s(self) -> np.ndarray:
+        """Per-bucket p90 response time (NaN for empty buckets)."""
+        return np.array([b.stats.p90 for b in self.buckets])
+
+    def offered(self) -> np.ndarray:
+        """Per-bucket offered request counts."""
+        return np.array([b.offered for b in self.buckets])
+
+    def drop_fractions(self) -> np.ndarray:
+        """Per-bucket drop fractions."""
+        return np.array([b.drop_fraction for b in self.buckets])
+
+    def worst_bucket(self) -> TimelineBucket:
+        """The bucket with the highest mean latency (NaNs skipped)."""
+        candidates = [b for b in self.buckets if b.stats.count > 0]
+        require(len(candidates) > 0, "no bucket has completed records")
+        return max(candidates, key=lambda b: b.stats.mean)
+
+    def __len__(self) -> int:
+        return len(self.buckets)

@@ -1,0 +1,28 @@
+"""Network substrate: requests, sources, firewall, load balancer."""
+
+from .anomaly import AggregateAnomalyDetector, AnomalyAlarm
+from .firewall import NullFirewall, RateLimitFirewall
+from .load_balancer import (
+    LeastLoadedPolicy,
+    NetworkLoadBalancer,
+    RandomPolicy,
+    RoundRobinPolicy,
+)
+from .request import CompletionRecord, Request, RequestOutcome
+from .sources import SourcePool, SourceRegistry
+
+__all__ = [
+    "Request",
+    "RequestOutcome",
+    "CompletionRecord",
+    "SourcePool",
+    "SourceRegistry",
+    "RateLimitFirewall",
+    "NullFirewall",
+    "NetworkLoadBalancer",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "RandomPolicy",
+    "AggregateAnomalyDetector",
+    "AnomalyAlarm",
+]

@@ -1,0 +1,155 @@
+"""Network load balancer (NLB) and forwarding policies.
+
+The NLB is the ingress pipeline of the simulated data center:
+
+``firewall admission → (optional) admission filter → policy → server``
+
+Forwarding policies are pluggable strategy objects; the conventional
+ones (round-robin, least-loaded, random) live here, while the paper's
+power-driven forwarding (PDF) lives in :mod:`repro.core.pdf` and plugs
+into the same interface.  Admission filters model NLB-side traffic
+shaping — the Token scheme's power token bucket is one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from .._validation import require
+from .firewall import RateLimitFirewall
+from .request import Request, RequestOutcome
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..cluster.server import Server
+
+DropSink = Callable[[Request, RequestOutcome, float], None]
+
+
+class ForwardingPolicy(Protocol):
+    """Strategy: choose the backend server for a request."""
+
+    def select(self, request: Request, servers: Sequence[Server]) -> Server:
+        """Return the server *request* should be forwarded to."""
+        ...
+
+
+class RoundRobinPolicy:
+    """Cycle through the backend list — the classic NLB default."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(self, request: Request, servers: Sequence[Server]) -> Server:
+        """Return the next backend in rotation."""
+        require(len(servers) > 0, "no backend servers")
+        server = servers[self._next % len(servers)]
+        self._next += 1
+        return server
+
+
+class LeastLoadedPolicy:
+    """Forward to the backend with the fewest requests in system."""
+
+    def select(self, request: Request, servers: Sequence[Server]) -> Server:
+        """Return the backend with the fewest requests in system."""
+        require(len(servers) > 0, "no backend servers")
+        return min(servers, key=lambda s: (s.in_system, s.server_id))
+
+
+class RandomPolicy:
+    """Uniform random backend choice (stateless, seedable)."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def select(self, request: Request, servers: Sequence[Server]) -> Server:
+        """Return a uniformly random backend."""
+        require(len(servers) > 0, "no backend servers")
+        return servers[int(self.rng.integers(0, len(servers)))]
+
+
+class AdmissionFilter(Protocol):
+    """NLB-side shaping hook: may reject a request before forwarding."""
+
+    def admit(self, request: Request, now: float) -> bool:
+        """Return ``False`` to drop the request at the balancer."""
+        ...
+
+
+class NetworkLoadBalancer:
+    """Ingress pipeline tying firewall, shaping and forwarding together.
+
+    Parameters
+    ----------
+    servers:
+        Backend pool in rack order.
+    policy:
+        Forwarding strategy (default round-robin).
+    firewall:
+        Perimeter defence consulted first; ``None`` disables it.
+    admission_filter:
+        Optional NLB-side shaper consulted after the firewall.
+    drop_sink:
+        Callback recording requests rejected anywhere in the pipeline.
+    now:
+        Clock accessor used to timestamp drops.
+    """
+
+    def __init__(
+        self,
+        servers: Sequence[Server],
+        policy: Optional[ForwardingPolicy] = None,
+        firewall: Optional[RateLimitFirewall] = None,
+        admission_filter: Optional[AdmissionFilter] = None,
+        drop_sink: Optional[DropSink] = None,
+        now: Optional[Callable[[], float]] = None,
+    ) -> None:
+        require(len(servers) > 0, "NLB needs at least one backend")
+        self.servers: List[Server] = list(servers)
+        self.policy: ForwardingPolicy = policy or RoundRobinPolicy()
+        self.firewall = firewall
+        self.admission_filter = admission_filter
+        self.drop_sink = drop_sink
+        self._now = now or (lambda: 0.0)
+        self.forwarded = 0
+        self.dropped = 0
+
+    def dispatch(self, request: Request) -> bool:
+        """Run *request* through the ingress pipeline.
+
+        Returns ``True`` when the request reached a server queue.  Every
+        rejection is reported to ``drop_sink`` with the pipeline stage
+        that caused it.
+        """
+        now = self._now()
+        if self.firewall is not None and not self.firewall.admit(
+            request.source_id, now
+        ):
+            self._drop(request, RequestOutcome.DROPPED_FIREWALL, now)
+            return False
+        if self.admission_filter is not None and not self.admission_filter.admit(
+            request, now
+        ):
+            self._drop(request, RequestOutcome.DROPPED_TOKEN, now)
+            return False
+        server = self.policy.select(request, self.servers)
+        if not server.submit(request):
+            self._drop(request, RequestOutcome.DROPPED_QUEUE_FULL, now)
+            return False
+        self.forwarded += 1
+        return True
+
+    def _drop(self, request: Request, outcome: RequestOutcome, now: float) -> None:
+        self.dropped += 1
+        if self.drop_sink is not None:
+            self.drop_sink(request, outcome, now)
+        if request.on_terminal is not None:
+            request.on_terminal(request, outcome, now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NetworkLoadBalancer({len(self.servers)} backends, "
+            f"forwarded={self.forwarded}, dropped={self.dropped})"
+        )

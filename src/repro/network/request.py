@@ -1,0 +1,138 @@
+"""Request objects and completion records.
+
+A :class:`Request` is a single HTTP query travelling through the
+simulated stack: ingress (firewall) → load balancer → server queue →
+worker → completion.  The terminal outcome of every request is captured
+in a :class:`CompletionRecord`, which is what the metrics layer consumes
+— records are flat, slot-typed and cheap, because a trace-driven run
+produces millions of them.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Optional
+
+from ..workloads.catalog import RequestType, TrafficClass
+
+_request_ids = itertools.count()
+
+
+class RequestOutcome(enum.Enum):
+    """Terminal state of a request."""
+
+    COMPLETED = "completed"
+    DROPPED_FIREWALL = "dropped_firewall"
+    DROPPED_TOKEN = "dropped_token"
+    DROPPED_QUEUE_FULL = "dropped_queue_full"
+    TIMED_OUT = "timed_out"
+
+
+class Request:
+    """One in-flight HTTP request.
+
+    Attributes
+    ----------
+    rtype:
+        Catalog profile of the requested service (determines service
+        demand and power).
+    source_id:
+        Identity of the sending agent — the key the firewall rate-limits
+        on.
+    traffic_class:
+        Whether a legitimate user or an attacker generated the request.
+    arrival_time:
+        Simulation time at which the request hit the data-center ingress.
+    """
+
+    __slots__ = (
+        "request_id",
+        "rtype",
+        "source_id",
+        "traffic_class",
+        "arrival_time",
+        "start_service_time",
+        "remaining_work",
+        "server_id",
+        "on_terminal",
+    )
+
+    def __init__(
+        self,
+        rtype: RequestType,
+        source_id: int,
+        traffic_class: TrafficClass,
+        arrival_time: float,
+    ) -> None:
+        self.request_id = next(_request_ids)
+        self.rtype = rtype
+        self.source_id = source_id
+        self.traffic_class = traffic_class
+        self.arrival_time = arrival_time
+        # Set when a worker picks the request up:
+        self.start_service_time: Optional[float] = None
+        # Work is expressed in "seconds of service at f_max"; the server
+        # drains it at its current speedup so DVFS changes mid-service
+        # stretch the in-flight requests correctly.
+        self.remaining_work: float = 0.0
+        self.server_id: Optional[int] = None
+        # Optional callback fired once at the request's terminal event
+        # (completion or any drop).  Closed-loop clients use it to learn
+        # when to issue their next request.
+        self.on_terminal = None
+
+    @property
+    def url(self) -> str:
+        """URL of the requested service — the NLB's routing key."""
+        return self.rtype.url
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Request(#{self.request_id}, {self.rtype.name}, "
+            f"{self.traffic_class.value}, t={self.arrival_time:.3f})"
+        )
+
+
+class CompletionRecord:
+    """Flat terminal record of one request, consumed by the metrics layer."""
+
+    __slots__ = (
+        "request_id",
+        "type_name",
+        "traffic_class",
+        "outcome",
+        "arrival_time",
+        "finish_time",
+        "server_id",
+    )
+
+    def __init__(
+        self,
+        request: Request,
+        outcome: RequestOutcome,
+        finish_time: float,
+    ) -> None:
+        self.request_id = request.request_id
+        self.type_name = request.rtype.name
+        self.traffic_class = request.traffic_class
+        self.outcome = outcome
+        self.arrival_time = request.arrival_time
+        self.finish_time = finish_time
+        self.server_id = request.server_id
+
+    @property
+    def response_time(self) -> float:
+        """End-to-end sojourn time (seconds); meaningful when completed."""
+        return self.finish_time - self.arrival_time
+
+    @property
+    def completed(self) -> bool:
+        """True when the request was served to completion."""
+        return self.outcome is RequestOutcome.COMPLETED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompletionRecord(#{self.request_id}, {self.type_name}, "
+            f"{self.outcome.value}, rt={self.response_time * 1e3:.1f}ms)"
+        )

@@ -1,0 +1,121 @@
+"""Facility-level power budget allocation.
+
+Oversubscription in real data centers is hierarchical: a facility feed
+is oversubscribed across PDUs, each PDU across racks.  The paper's rack
+budget (Normal/High/Medium/Low-PB) is the leaf of that hierarchy; this
+module supplies the layer above it so multi-rack scenarios — e.g. a
+DOPE flood steered at one rack stealing headroom from its neighbours —
+can be expressed.
+
+:class:`FacilityBudgetAllocator` redistributes a facility budget across
+racks with demand-proportional *water-filling*: every rack is
+guaranteed a floor (so a starved rack can always serve something), the
+remainder is divided proportionally to measured demand, and no rack is
+allocated more than it asks for — surplus is re-offered to still-hungry
+racks.  The result feeds each rack's own
+:class:`~repro.power.budget.PowerBudget` each re-plan interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from .._validation import check_fraction, check_positive, require
+
+
+@dataclass(frozen=True)
+class RackAllocation:
+    """One rack's share of the facility budget."""
+
+    rack_id: int
+    demand_w: float
+    allocated_w: float
+
+    @property
+    def satisfied(self) -> bool:
+        """True when the rack got everything it asked for."""
+        return self.allocated_w >= self.demand_w - 1e-9
+
+
+class FacilityBudgetAllocator:
+    """Demand-proportional water-filling over a set of racks.
+
+    Parameters
+    ----------
+    facility_budget_w:
+        Total power the facility feed can supply.
+    floor_fraction:
+        Fraction of the facility budget reserved as equal per-rack
+        floors (keeps starved racks alive).  The floors themselves are
+        capped at each rack's demand.
+    """
+
+    def __init__(
+        self, facility_budget_w: float, floor_fraction: float = 0.2
+    ) -> None:
+        check_positive("facility_budget_w", facility_budget_w)
+        check_fraction("floor_fraction", floor_fraction)
+        self.facility_budget_w = float(facility_budget_w)
+        self.floor_fraction = float(floor_fraction)
+
+    def allocate(self, demands_w: Sequence[float]) -> List[RackAllocation]:
+        """Split the facility budget across racks demanding *demands_w*.
+
+        Guarantees (see the property tests):
+
+        * allocations are non-negative and never exceed demand;
+        * the total never exceeds the facility budget;
+        * if total demand fits, every rack is fully satisfied;
+        * allocation is monotone: a rack never receives less than a
+          rack with smaller demand.
+        """
+        require(len(demands_w) > 0, "need at least one rack")
+        demands = [max(0.0, float(d)) for d in demands_w]
+        n = len(demands)
+        total_demand = sum(demands)
+        if total_demand <= self.facility_budget_w:
+            return [
+                RackAllocation(i, demands[i], demands[i]) for i in range(n)
+            ]
+
+        # Floors: equal shares of the reserved slice, capped at demand.
+        floor_each = (self.facility_budget_w * self.floor_fraction) / n
+        alloc = [min(floor_each, demands[i]) for i in range(n)]
+        remaining = self.facility_budget_w - sum(alloc)
+
+        # Proportional water-fill of the remainder, re-offering any
+        # surplus from racks that hit their demand cap.
+        hungry = [i for i in range(n) if alloc[i] < demands[i]]
+        while remaining > 1e-9 and hungry:
+            weight = sum(demands[i] - alloc[i] for i in hungry)
+            if weight <= 0:
+                break
+            next_hungry = []
+            distributed = 0.0
+            for i in hungry:
+                gap = demands[i] - alloc[i]
+                share = remaining * gap / weight
+                grant = min(gap, share)
+                alloc[i] += grant
+                distributed += grant
+                if alloc[i] < demands[i] - 1e-9:
+                    next_hungry.append(i)
+            remaining -= distributed
+            if distributed <= 1e-12:
+                break
+            hungry = next_hungry
+
+        return [RackAllocation(i, demands[i], alloc[i]) for i in range(n)]
+
+    def allocate_map(self, demands_w: Dict[int, float]) -> Dict[int, float]:
+        """Dict-keyed convenience wrapper around :meth:`allocate`."""
+        keys = sorted(demands_w)
+        allocations = self.allocate([demands_w[k] for k in keys])
+        return {k: a.allocated_w for k, a in zip(keys, allocations)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FacilityBudgetAllocator({self.facility_budget_w:.0f}W, "
+            f"floor={self.floor_fraction:.0%})"
+        )

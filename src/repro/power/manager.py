@@ -1,0 +1,184 @@
+"""Power-management scheme interface (paper Table 2).
+
+Every evaluated scheme — Capping, Shaving, Token, Anti-DOPE — is a
+:class:`PowerManagementScheme`: an object the simulation *binds* to the
+rack/budget/battery/NLB once, then ticks every control slot.  Schemes
+can additionally contribute a forwarding policy (Anti-DOPE's PDF) and
+an admission filter (Token's bucket) to the ingress pipeline, so the
+whole Table 2 matrix is expressed by swapping one object.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from .battery import Battery
+from .budget import PowerBudget
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..cluster.rack import Rack
+    from ..cluster.server import Server
+    from ..network.load_balancer import AdmissionFilter, ForwardingPolicy
+    from ..sim.engine import EventEngine
+
+
+class PowerManagementScheme:
+    """Base class for Table 2 schemes.
+
+    Subclasses override :meth:`step` (the per-slot control action) and
+    optionally :meth:`forwarding_policy` / :meth:`admission_filter` to
+    hook the NLB.  :meth:`bind` wires in the shared infrastructure and
+    may be extended, but subclasses must call ``super().bind(...)``.
+    """
+
+    #: Human-readable scheme name (Table 2 key).
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self.engine: Optional[EventEngine] = None
+        self.rack: Optional[Rack] = None
+        self.budget: Optional[PowerBudget] = None
+        self.battery: Optional[Battery] = None
+        self.slot_s: float = 1.0
+        self.bound = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def bind(
+        self,
+        engine: EventEngine,
+        rack: Rack,
+        budget: PowerBudget,
+        battery: Optional[Battery],
+        slot_s: float,
+    ) -> None:
+        """Attach the scheme to the simulated infrastructure."""
+        if self.bound:
+            raise RuntimeError(f"scheme {self.name!r} already bound")
+        self.engine = engine
+        self.rack = rack
+        self.budget = budget
+        self.battery = battery
+        self.slot_s = float(slot_s)
+        self.bound = True
+
+    def step(self) -> None:
+        """One control-slot action.  Default: do nothing."""
+
+    # ------------------------------------------------------------------
+    # NLB hooks
+    # ------------------------------------------------------------------
+    def forwarding_policy(
+        self, servers: Sequence["Server"]
+    ) -> Optional[ForwardingPolicy]:
+        """Scheme-specific NLB policy, or ``None`` for the default."""
+        return None
+
+    def admission_filter(self) -> Optional[AdmissionFilter]:
+        """Scheme-specific NLB shaper, or ``None`` for pass-through."""
+        return None
+
+    # ------------------------------------------------------------------
+    # Shared control arithmetic
+    # ------------------------------------------------------------------
+    def _require_bound(self) -> None:
+        if not self.bound:
+            raise RuntimeError(f"scheme {self.name!r} used before bind()")
+
+    def current_power(self) -> float:
+        """Instantaneous rack power."""
+        self._require_bound()
+        return self.rack.total_power()
+
+    def deficit(self) -> float:
+        """Watts above budget right now (zero when compliant)."""
+        self._require_bound()
+        return self.budget.deficit(self.current_power())
+
+    def predict_power_at_level(
+        self, level: int, servers: Optional[Sequence["Server"]] = None
+    ) -> float:
+        """Rack power if *servers* (default: all) moved to *level* now.
+
+        Uses the servers' actual in-service request types, so the
+        prediction is exact for the current instant — the idealised
+        model-based capping controller the paper assumes RAPL provides.
+        """
+        self._require_bound()
+        pool = self.rack.servers if servers is None else list(servers)
+        pool_ids = {s.server_id for s in pool}
+        ratio = self.rack.ladder.ratio(self.rack.ladder.clamp(level))
+        total = 0.0
+        for server in self.rack.servers:
+            if server.server_id in pool_ids:
+                types = (e.request.rtype for e in server._active.values())
+                total += server.power_model.power(types, ratio)
+            else:
+                total += server.current_power()
+        return total
+
+    def highest_level_within(
+        self,
+        cap_w: float,
+        servers: Optional[Sequence["Server"]] = None,
+    ) -> int:
+        """Highest uniform level keeping predicted rack power ≤ *cap_w*.
+
+        Returns 0 (deepest throttle) when even the bottom of the ladder
+        cannot satisfy the cap — power is then idle-floor dominated.
+        """
+        self._require_bound()
+        ladder = self.rack.ladder
+        for level in range(ladder.max_level, -1, -1):
+            if self.predict_power_at_level(level, servers) <= cap_w:
+                return level
+        return 0
+
+
+class NullScheme(PowerManagementScheme):
+    """No power management at all — the unconstrained reference arm."""
+
+    name = "none"
+
+
+class UniformCappingMixin:
+    """Shared "pick a uniform V/F level to satisfy a cap" step logic.
+
+    Both Capping and the DVFS tail of Shaving need the same action:
+    choose the highest ladder level whose predicted power fits under a
+    cap and apply it to a server set, with a small hysteresis band so
+    the controller does not chatter between adjacent levels.
+    """
+
+    #: Fraction of the budget kept as a raise-guard band.
+    hysteresis: float = 0.02
+
+    def apply_uniform_cap(
+        self,
+        cap_w: float,
+        servers: Optional[Sequence["Server"]] = None,
+    ) -> int:
+        """Move *servers* to the best uniform level for *cap_w*.
+
+        Returns the level chosen.  Raising frequency only happens when
+        the predicted power at the higher level stays below the cap
+        minus the hysteresis band.
+        """
+        self._require_bound()  # type: ignore[attr-defined]
+        rack: Rack = self.rack  # type: ignore[attr-defined]
+        pool = rack.servers if servers is None else list(servers)
+        if not pool:
+            return rack.ladder.max_level
+        current = min(s.level for s in pool)
+        target = self.highest_level_within(cap_w, pool)  # type: ignore[attr-defined]
+        if target > current:
+            # Raising: demand a hysteresis margin to avoid chatter.
+            guard = cap_w * (1.0 - self.hysteresis)
+            while target > current and self.predict_power_at_level(  # type: ignore[attr-defined]
+                target, pool
+            ) > guard:
+                target -= 1
+        for server in pool:
+            server.set_level(target)
+        return target

@@ -1,0 +1,53 @@
+"""Simulation clock.
+
+The clock is the single source of truth for "now" inside a simulation.
+It only ever moves forward; the event engine advances it as events are
+dispatched.  Keeping it as a tiny standalone object (rather than a bare
+float on the engine) lets every component hold a reference to the same
+monotonically advancing time without holding a reference to the engine
+itself.
+"""
+
+from __future__ import annotations
+
+from .._validation import check_finite, check_non_negative
+
+
+class SimulationClock:
+    """Monotonic simulation time in seconds.
+
+    Parameters
+    ----------
+    start:
+        Initial simulation time.  Defaults to ``0.0``.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        check_non_negative("start", start)
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to *time*.
+
+        Raises
+        ------
+        ValueError
+            If *time* is earlier than the current time (the clock never
+            runs backwards) or not finite.
+        """
+        check_finite("time", time)
+        if time < self._now:
+            raise ValueError(
+                f"clock cannot move backwards: now={self._now}, requested={time}"
+            )
+        self._now = float(time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimulationClock(now={self._now:.6f})"

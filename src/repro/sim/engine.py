@@ -1,0 +1,150 @@
+"""Discrete-event simulation engine.
+
+The engine owns the :class:`~repro.sim.clock.SimulationClock` and the
+:class:`~repro.sim.events.EventQueue` and exposes the two operations
+everything else is built from:
+
+* :meth:`EventEngine.schedule` / :meth:`EventEngine.schedule_at` —
+  register a callback at a future simulation time;
+* :meth:`EventEngine.run` — dispatch events in time order until a
+  deadline or until the queue drains.
+
+It also provides :meth:`EventEngine.every`, a convenience for the
+slotted control loops (power managers, firewall polls, attacker
+adjustment) that the paper's systems are built around.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .._validation import check_non_negative, check_positive
+from .clock import SimulationClock
+from .events import Event, EventQueue, PRIORITY_WORKLOAD
+
+
+class EventEngine:
+    """Heap-based discrete event loop with a monotonic clock."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.clock = SimulationClock(start_time)
+        self._queue = EventQueue()
+        self._running = False
+        self._stopped = False
+        self.dispatched = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self.clock.now
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = PRIORITY_WORKLOAD,
+    ) -> Event:
+        """Schedule *callback* to run *delay* seconds from now."""
+        check_non_negative("delay", delay)
+        return self._queue.push(self.clock.now + delay, callback, priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = PRIORITY_WORKLOAD,
+    ) -> Event:
+        """Schedule *callback* at the absolute simulation *time*."""
+        if time < self.clock.now:
+            raise ValueError(
+                f"cannot schedule in the past: now={self.clock.now}, requested={time}"
+            )
+        return self._queue.push(time, callback, priority)
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        priority: int = PRIORITY_WORKLOAD,
+        start_delay: Optional[float] = None,
+    ) -> Callable[[], None]:
+        """Run *callback* every *interval* seconds until cancelled.
+
+        Returns a zero-argument function that stops the recurrence.  The
+        first invocation happens after *start_delay* (default: one full
+        interval).
+        """
+        check_positive("interval", interval)
+        if start_delay is not None:
+            check_non_negative("start_delay", start_delay)
+        state = {"event": None, "stopped": False}
+
+        def tick() -> None:
+            """One recurrence firing; reschedules itself until stopped."""
+            if state["stopped"]:
+                return
+            callback()
+            if not state["stopped"]:
+                state["event"] = self.schedule(interval, tick, priority)
+
+        first = interval if start_delay is None else start_delay
+        state["event"] = self.schedule(first, tick, priority)
+
+        def stop() -> None:
+            """Cancel the recurrence."""
+            state["stopped"] = True
+            event = state["event"]
+            if event is not None:
+                self._queue.cancel(event)
+
+        return stop
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        self._queue.cancel(event)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Dispatch events in order until *until* (or queue exhaustion).
+
+        Events with timestamp exactly equal to *until* are executed.  The
+        clock is left at ``min(until, last event time)`` — i.e. if the
+        queue drains early the clock does not jump to the deadline.
+
+        Returns the final simulation time.
+        """
+        if self._running:
+            raise RuntimeError("engine is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._queue and not self._stopped:
+                next_time = self._queue.peek_time()
+                if until is not None and next_time is not None and next_time > until:
+                    self.clock.advance_to(until)
+                    break
+                event = self._queue.pop()
+                if event is None:
+                    break
+                self.clock.advance_to(event.time)
+                event.callback()
+                self.dispatched += 1
+            else:
+                if until is not None and self.clock.now < until and not self._stopped:
+                    self.clock.advance_to(until)
+        finally:
+            self._running = False
+        return self.clock.now
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the in-flight event returns."""
+        self._stopped = True
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events in the queue."""
+        return len(self._queue)

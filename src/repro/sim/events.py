@@ -1,0 +1,116 @@
+"""Event primitives for the discrete-event engine.
+
+An :class:`Event` is a scheduled callback.  Events are ordered by
+``(time, priority, sequence)`` so that simultaneous events dispatch in a
+deterministic order: lower priority values run first, and among equal
+priorities the event scheduled first runs first.  Cancellation is done
+lazily (the heap entry stays in the queue but is skipped on pop), which
+is the standard O(1)-cancel / amortised-O(log n)-pop idiom for heap
+based schedulers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional
+
+from .._validation import check_finite
+
+# Well-known priority bands.  Control actions run after the workload
+# events of the same instant so that a power reading taken "at" t sees
+# every arrival/departure that happened at t.
+PRIORITY_WORKLOAD = 0
+PRIORITY_MONITOR = 10
+PRIORITY_CONTROL = 20
+
+
+class Event:
+    """A scheduled callback inside the simulation.
+
+    Instances are created by :meth:`repro.sim.engine.EventEngine.schedule`;
+    user code normally only keeps them around to :meth:`cancel` them.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[[], None],
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, prio={self.priority}, {state})"
+
+
+class EventQueue:
+    """A cancellable priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = PRIORITY_WORKLOAD,
+    ) -> Event:
+        """Schedule *callback* at absolute *time* and return its handle."""
+        check_finite("time", time)
+        event = Event(float(time), int(priority), next(self._counter), callback)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or ``None`` when empty.
+
+        Cancelled events are discarded transparently.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the timestamp of the next live event without popping it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def cancel(self, event: Event) -> None:
+        """Cancel *event* if it has not fired yet."""
+        if not event.cancelled:
+            event.cancelled = True
+            self._live -= 1
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0

@@ -1,0 +1,303 @@
+"""DataCenterSimulation — the top-level facade.
+
+Wires the whole stack together from a :class:`SimulationConfig` and a
+:class:`~repro.power.manager.PowerManagementScheme`:
+
+::
+
+    traffic generators ──► NLB (firewall → filter → policy) ──► rack
+                                                      ▲            │
+                                scheme (per-slot step)┴── meter ────┘
+                                                      battery
+
+and exposes the convenience constructors the examples and benchmarks
+use for the paper's three populations (AliOS normal users, flood tools,
+the adaptive DOPE attacker).  Randomness is split from one master
+``SeedSequence``, so runs are bit-reproducible per seed while every
+component gets an independent stream.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..cluster.dvfs import FrequencyLadder
+from ..cluster.power_model import ServerPowerModel
+from ..cluster.rack import Rack
+from ..metrics.availability import AvailabilityReport, availability
+from ..metrics.collector import MetricsCollector
+from ..metrics.energy import EnergyAccountant, EnergyReport
+from ..metrics.latency import LatencyStats
+from ..network.firewall import NullFirewall, RateLimitFirewall
+from ..network.load_balancer import NetworkLoadBalancer, RoundRobinPolicy
+from ..network.sources import SourceRegistry
+from ..power.battery import Battery
+from ..power.budget import PowerBudget
+from ..power.manager import NullScheme, PowerManagementScheme
+from ..power.meter import PowerMeter
+from ..sim.engine import EventEngine
+from ..sim.events import PRIORITY_CONTROL
+from ..trace.alibaba import ClusterTrace
+from ..workloads.catalog import RequestMix, TrafficClass
+from ..workloads.dope import DopeAttacker
+from ..workloads.generator import TrafficGenerator
+from ..workloads.normal import make_normal_traffic
+from ..workloads.attacks import make_flood
+from .config import SimulationConfig
+
+
+class DataCenterSimulation:
+    """One simulated power-constrained data center.
+
+    Parameters
+    ----------
+    config:
+        Infrastructure description (rack, budget, firewall, battery…).
+    scheme:
+        The Table 2 power-management scheme under test; ``None`` runs
+        unmanaged (the vulnerability-characterisation arm).
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig = SimulationConfig(),
+        scheme: Optional[PowerManagementScheme] = None,
+        engine: Optional[EventEngine] = None,
+    ) -> None:
+        self.config = config
+        # A shared engine lets several data-center instances co-exist in
+        # one simulated world (multi-rack facility scenarios).
+        self.engine = engine if engine is not None else EventEngine()
+        self._seedseq = np.random.SeedSequence(config.seed)
+        self.collector = MetricsCollector()
+        self.registry = SourceRegistry()
+
+        power_model = ServerPowerModel(
+            nameplate_w=config.nameplate_w,
+            idle_fraction=config.idle_fraction,
+            alpha=config.alpha,
+            num_workers=config.workers_per_server,
+        )
+        self.rack = Rack(
+            engine=self.engine,
+            num_servers=config.num_servers,
+            rng=self.new_rng(),
+            power_model=power_model,
+            ladder=FrequencyLadder(),
+            queue_capacity=config.queue_capacity,
+            completion_sink=self.collector.sink,
+            queue_timeout_s=config.queue_timeout_s,
+        )
+        self.budget = PowerBudget.for_level(
+            config.budget_level, self.rack.nameplate_w
+        )
+        self.battery: Optional[Battery] = (
+            Battery.for_rack(
+                self.rack.nameplate_w,
+                sustain_s=config.battery_sustain_s,
+                efficiency=config.battery_efficiency,
+            )
+            if config.use_battery
+            else None
+        )
+
+        self.scheme = scheme or NullScheme()
+        self.scheme.bind(
+            self.engine, self.rack, self.budget, self.battery, config.slot_s
+        )
+
+        if config.use_firewall:
+            self.firewall: RateLimitFirewall = RateLimitFirewall(
+                threshold_rps=config.firewall_threshold_rps,
+                poll_interval_s=config.firewall_poll_s,
+                ban_duration_s=config.firewall_ban_s,
+            )
+        else:
+            self.firewall = NullFirewall()
+        self.firewall.attach(self.engine)
+
+        policy = self.scheme.forwarding_policy(self.rack.servers) or RoundRobinPolicy()
+        self.nlb = NetworkLoadBalancer(
+            servers=self.rack.servers,
+            policy=policy,
+            firewall=self.firewall,
+            admission_filter=self.scheme.admission_filter(),
+            drop_sink=self.collector.sink,
+            now=lambda: self.engine.now,
+        )
+
+        self.meter = PowerMeter(
+            self.engine, self.rack, config.meter_interval_s, self.battery
+        )
+        self.generators: List[TrafficGenerator] = []
+        self.attackers: List[DopeAttacker] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # RNG management
+    # ------------------------------------------------------------------
+    def new_rng(self) -> np.random.Generator:
+        """An independent child stream of the master seed."""
+        return np.random.default_rng(self._seedseq.spawn(1)[0])
+
+    # ------------------------------------------------------------------
+    # Traffic population builders
+    # ------------------------------------------------------------------
+    def add_normal_traffic(
+        self,
+        rate_rps: float = 40.0,
+        num_users: int = 200,
+        mix: Optional[RequestMix] = None,
+        trace: Optional[ClusterTrace] = None,
+        trace_peak_rate_rps: Optional[float] = None,
+        start_delay: float = 0.0,
+        label: str = "alios",
+    ) -> TrafficGenerator:
+        """Attach the legitimate AliOS population and start it."""
+        gen = make_normal_traffic(
+            self.engine,
+            self.nlb.dispatch,
+            self.registry,
+            self.new_rng(),
+            rate_rps=rate_rps,
+            num_users=num_users,
+            mix=mix,
+            trace=trace,
+            trace_peak_rate_rps=trace_peak_rate_rps,
+            label=label,
+        )
+        gen.start(start_delay)
+        self.generators.append(gen)
+        return gen
+
+    def add_flood(
+        self,
+        mix,
+        rate_rps: float,
+        num_agents: int = 20,
+        start_s: float = 0.0,
+        end_s: Optional[float] = None,
+        label: str = "flood",
+        closed_loop: bool = True,
+        think_s: float = 0.2,
+        poisson: bool = False,
+    ):
+        """Attach a flood generator, optionally windowed to [start, end)."""
+        gen = make_flood(
+            self.engine,
+            self.nlb.dispatch,
+            self.registry,
+            self.new_rng(),
+            mix=mix,
+            rate_rps=rate_rps,
+            num_agents=num_agents,
+            label=label,
+            closed_loop=closed_loop,
+            think_s=think_s,
+            poisson=poisson,
+        )
+        if end_s is not None:
+            gen.run_window(start_s, end_s)
+        else:
+            gen.start(start_s)
+        self.generators.append(gen)
+        return gen
+
+    def add_dope_attacker(
+        self,
+        start_delay: float = 0.0,
+        label: str = "dope",
+        **kwargs,
+    ) -> DopeAttacker:
+        """Attach the adaptive DOPE attacker (Fig. 12 loop)."""
+        attacker = DopeAttacker(
+            self.engine,
+            self.nlb.dispatch,
+            self.registry,
+            self.new_rng(),
+            firewall=self.firewall,
+            label=label,
+            **kwargs,
+        )
+        attacker.start(start_delay)
+        self.attackers.append(attacker)
+        return attacker
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def ensure_started(self) -> None:
+        """Arm the meter and the control loop (idempotent).
+
+        Called automatically by :meth:`run`; facility-level drivers that
+        share one engine across several instances call it explicitly and
+        then run the engine themselves.
+        """
+        if not self._started:
+            self.meter.start()
+            self.engine.every(
+                self.config.slot_s,
+                self.scheme.step,
+                priority=PRIORITY_CONTROL,
+            )
+            self._started = True
+
+    def run(self, duration_s: float) -> None:
+        """Advance the simulation by *duration_s* seconds.
+
+        The first call starts the meter and the scheme's control loop;
+        subsequent calls continue from where the previous one stopped,
+        so multi-phase experiments (baseline window → attack window)
+        are plain sequential calls.
+        """
+        self.ensure_started()
+        self.engine.run(until=self.engine.now + duration_s)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.engine.now
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def latency_stats(
+        self,
+        traffic_class: Optional[TrafficClass] = TrafficClass.NORMAL,
+        start_s: Optional[float] = None,
+        end_s: Optional[float] = None,
+        type_name: Optional[str] = None,
+    ) -> LatencyStats:
+        """Latency summary of one population over one window."""
+        times = self.collector.response_times(
+            traffic_class=traffic_class,
+            type_name=type_name,
+            start_s=start_s,
+            end_s=end_s,
+        )
+        return LatencyStats.from_times(times)
+
+    def availability_report(
+        self,
+        sla_s: float = 1.0,
+        traffic_class: Optional[TrafficClass] = TrafficClass.NORMAL,
+        start_s: Optional[float] = None,
+        end_s: Optional[float] = None,
+    ) -> AvailabilityReport:
+        """Availability of one population over one window."""
+        records = self.collector.filtered(
+            traffic_class=traffic_class, start_s=start_s, end_s=end_s
+        )
+        return availability(records, sla_s=sla_s)
+
+    def start_energy_accounting(self) -> EnergyAccountant:
+        """Begin an energy-measurement window at the current time."""
+        return EnergyAccountant(self.rack, self.battery)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DataCenterSimulation(t={self.engine.now:.0f}s, "
+            f"scheme={self.scheme.name}, budget={self.budget.supply_w:.0f}W)"
+        )

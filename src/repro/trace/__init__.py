@@ -1,0 +1,31 @@
+"""Trace substrate: arrival processes and the Alibaba cluster trace."""
+
+from .alibaba import (
+    MACHINE_USAGE_COLUMNS,
+    ClusterTrace,
+    SyntheticAlibabaTrace,
+    TraceSummary,
+    load_machine_usage,
+    write_machine_usage,
+)
+from .arrival import (
+    ArrivalProcess,
+    ConstantRateProcess,
+    MMPPProcess,
+    ModulatedPoissonProcess,
+    PoissonProcess,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonProcess",
+    "ConstantRateProcess",
+    "ModulatedPoissonProcess",
+    "MMPPProcess",
+    "ClusterTrace",
+    "SyntheticAlibabaTrace",
+    "TraceSummary",
+    "MACHINE_USAGE_COLUMNS",
+    "load_machine_usage",
+    "write_machine_usage",
+]

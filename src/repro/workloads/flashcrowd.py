@@ -1,0 +1,81 @@
+"""Flash crowds: legitimate traffic that looks like an attack.
+
+Power oversubscription is justified by the assumption that correlated
+peaks are rare — but they are not malicious when they happen.  A flash
+crowd (a sale, a breaking story) is a surge of *legitimate* requests,
+often heavy ones, from a large set of genuine users.  To a power-profile
+defence it is indistinguishable from DOPE: Anti-DOPE will route the
+surge to the suspect pool and throttle it — the false-positive cost of
+the KISS principle, which the flash-crowd bench quantifies.
+
+:func:`make_flash_crowd` builds a windowed closed-loop surge tagged
+``NORMAL`` (these are real users) spread across many distinct sources.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .._validation import check_int, check_positive, require
+from ..network.sources import SourceRegistry
+from ..sim.engine import EventEngine
+from .catalog import COLLA_FILT, K_MEANS, RequestMix, TrafficClass, WORD_COUNT
+from .generator import ClosedLoopGenerator, Dispatch, clients_for_rate
+
+
+def flash_sale_mix() -> RequestMix:
+    """What a flash sale hammers: recommendations and classification.
+
+    A surge of purchase-intent users drives the *heavy* EC endpoints —
+    exactly the suspect-listed ones.
+    """
+    return RequestMix({COLLA_FILT: 0.45, K_MEANS: 0.30, WORD_COUNT: 0.25})
+
+
+def make_flash_crowd(
+    engine: EventEngine,
+    dispatch: Dispatch,
+    registry: SourceRegistry,
+    rng: np.random.Generator,
+    rate_rps: float = 250.0,
+    num_users: int = 500,
+    start_s: float = 0.0,
+    duration_s: float = 120.0,
+    mix: Optional[RequestMix] = None,
+    think_s: float = 0.2,
+    label: str = "flash-crowd",
+) -> ClosedLoopGenerator:
+    """Build a legitimate surge generator, windowed to the event.
+
+    Parameters
+    ----------
+    rate_rps:
+        Target surge rate against an unloaded service.
+    num_users:
+        Distinct genuine users — far more identities than any botnet,
+        so per-source rates are microscopic.
+    start_s, duration_s:
+        The event window.
+    mix:
+        Request mix; defaults to the heavy flash-sale mix.
+    """
+    check_positive("rate_rps", rate_rps)
+    check_int("num_users", num_users, minimum=1)
+    check_positive("duration_s", duration_s)
+    require(start_s >= 0, "start_s must be >= 0")
+    pool = registry.allocate(label, TrafficClass.NORMAL, num_users)
+    the_mix = mix or flash_sale_mix()
+    gen = ClosedLoopGenerator(
+        engine=engine,
+        dispatch=dispatch,
+        rng=rng,
+        source_pool=pool,
+        mix=the_mix,
+        num_clients=clients_for_rate(rate_rps, the_mix, think_s),
+        think_s=think_s,
+        label=label,
+    )
+    gen.run_window(start_s, start_s + duration_s)
+    return gen

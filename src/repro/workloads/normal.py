@@ -1,0 +1,78 @@
+"""Normal-user traffic (the paper's "AliOS" population).
+
+Legitimate users access the e-Commerce service with the light-skewed
+AliOS request mix, at a rate modulated by the Alibaba container trace's
+aggregate load curve.  The population is spread across many independent
+sources, so per-source rates are far below any firewall threshold —
+normal users never trip the perimeter defence.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .._validation import check_int, check_positive, require
+from ..network.sources import SourceRegistry
+from ..sim.engine import EventEngine
+from ..trace.alibaba import ClusterTrace
+from ..trace.arrival import ModulatedPoissonProcess, PoissonProcess
+from .catalog import RequestMix, TrafficClass, alios_mix
+from .generator import Dispatch, TrafficGenerator
+
+
+def make_normal_traffic(
+    engine: EventEngine,
+    dispatch: Dispatch,
+    registry: SourceRegistry,
+    rng: np.random.Generator,
+    rate_rps: float = 40.0,
+    num_users: int = 200,
+    mix: Optional[RequestMix] = None,
+    trace: Optional[ClusterTrace] = None,
+    trace_peak_rate_rps: Optional[float] = None,
+    label: str = "alios",
+) -> TrafficGenerator:
+    """Build the legitimate-user generator.
+
+    Without a trace the population is plain Poisson at *rate_rps*.
+    With a *trace*, arrivals follow a non-homogeneous Poisson process
+    whose rate tracks the trace's aggregate load between *rate_rps*
+    (trough) and *trace_peak_rate_rps* (peak, default ``2 × rate_rps``).
+
+    Parameters
+    ----------
+    engine, dispatch, registry, rng:
+        Simulation wiring (see :class:`TrafficGenerator`).
+    rate_rps:
+        Base aggregate request rate of the population.
+    num_users:
+        Number of distinct legitimate sources the rate is spread over.
+    mix:
+        Request-type mix (default: the AliOS mix).
+    trace:
+        Optional Alibaba-like cluster trace modulating the rate.
+    trace_peak_rate_rps:
+        Rate at the trace's load peak.
+    """
+    check_positive("rate_rps", rate_rps)
+    check_int("num_users", num_users, minimum=1)
+    pool = registry.allocate(label, TrafficClass.NORMAL, num_users)
+    if trace is None:
+        process = PoissonProcess(rate_rps)
+    else:
+        peak = trace_peak_rate_rps if trace_peak_rate_rps is not None else 2 * rate_rps
+        require(peak >= rate_rps, "trace_peak_rate_rps must be >= rate_rps")
+        process = ModulatedPoissonProcess(
+            trace.to_rate_function(rate_rps, peak), rate_max=peak
+        )
+    return TrafficGenerator(
+        engine=engine,
+        dispatch=dispatch,
+        rng=rng,
+        source_pool=pool,
+        mix=mix or alios_mix(),
+        process=process,
+        label=label,
+    )

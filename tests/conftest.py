@@ -1,0 +1,62 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import FrequencyLadder, Rack, Server, ServerPowerModel
+from repro.metrics import MetricsCollector
+from repro.sim import EventEngine
+
+
+@pytest.fixture
+def engine() -> EventEngine:
+    """A fresh event engine at t=0."""
+    return EventEngine()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def power_model() -> ServerPowerModel:
+    """The paper's 100 W leaf-node power model."""
+    return ServerPowerModel()
+
+
+@pytest.fixture
+def ladder() -> FrequencyLadder:
+    """The paper's 1.2–2.4 GHz ladder."""
+    return FrequencyLadder()
+
+
+@pytest.fixture
+def collector() -> MetricsCollector:
+    """An empty metrics collector."""
+    return MetricsCollector()
+
+
+@pytest.fixture
+def server(engine, rng, collector) -> Server:
+    """One default server wired to the collector."""
+    return Server(
+        server_id=0,
+        engine=engine,
+        rng=rng,
+        completion_sink=collector.sink,
+    )
+
+
+@pytest.fixture
+def rack(engine, rng, collector) -> Rack:
+    """A four-server paper rack wired to the collector."""
+    return Rack(
+        engine=engine,
+        num_servers=4,
+        rng=rng,
+        completion_sink=collector.sink,
+    )

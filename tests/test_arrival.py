@@ -1,0 +1,129 @@
+"""Unit tests for arrival-process models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    ConstantRateProcess,
+    MMPPProcess,
+    ModulatedPoissonProcess,
+    PoissonProcess,
+)
+
+
+def mean_gap(process, rng, n=20000, t0=0.0):
+    t = t0
+    gaps = []
+    for _ in range(n):
+        g = process.next_interarrival(rng, t)
+        gaps.append(g)
+        t += g
+    return float(np.mean(gaps))
+
+
+class TestPoisson:
+    def test_mean_rate_matches(self, rng):
+        proc = PoissonProcess(50.0)
+        assert 1.0 / mean_gap(proc, rng) == pytest.approx(50.0, rel=0.05)
+
+    def test_zero_rate_never_arrives(self, rng):
+        assert math.isinf(PoissonProcess(0.0).next_interarrival(rng, 0.0))
+
+    def test_mean_rate_property(self):
+        assert PoissonProcess(7.0).mean_rate() == 7.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonProcess(-1.0)
+
+
+class TestConstantRate:
+    def test_deterministic_without_jitter(self, rng):
+        proc = ConstantRateProcess(10.0)
+        gaps = {proc.next_interarrival(rng, 0.0) for _ in range(10)}
+        assert gaps == {0.1}
+
+    def test_jitter_bounds(self, rng):
+        proc = ConstantRateProcess(10.0, jitter=0.2)
+        for _ in range(1000):
+            gap = proc.next_interarrival(rng, 0.0)
+            assert 0.08 <= gap <= 0.12
+
+    def test_jitter_must_be_below_one(self):
+        with pytest.raises(ValueError):
+            ConstantRateProcess(10.0, jitter=1.0)
+
+    def test_zero_rate(self, rng):
+        assert math.isinf(ConstantRateProcess(0.0).next_interarrival(rng, 0.0))
+
+
+class TestModulatedPoisson:
+    def test_constant_envelope_matches_poisson(self, rng):
+        proc = ModulatedPoissonProcess(lambda t: 20.0, rate_max=20.0)
+        assert 1.0 / mean_gap(proc, rng, n=10000) == pytest.approx(20.0, rel=0.05)
+
+    def test_thinning_halves_rate(self, rng):
+        proc = ModulatedPoissonProcess(lambda t: 10.0, rate_max=20.0)
+        assert 1.0 / mean_gap(proc, rng, n=10000) == pytest.approx(10.0, rel=0.05)
+
+    def test_time_varying_rate(self, rng):
+        # Rate 40 in the first 10 s, 5 afterwards: arrivals concentrate
+        # early.
+        proc = ModulatedPoissonProcess(
+            lambda t: 40.0 if t < 10 else 5.0, rate_max=40.0
+        )
+        t, early = 0.0, 0
+        for _ in range(300):
+            t += proc.next_interarrival(rng, t)
+            if t < 10:
+                early += 1
+        assert early > 150
+
+    def test_envelope_violation_detected(self, rng):
+        proc = ModulatedPoissonProcess(lambda t: 100.0, rate_max=20.0)
+        with pytest.raises(ValueError, match="exceeds rate_max"):
+            proc.next_interarrival(rng, 0.0)
+
+    def test_negative_rate_detected(self, rng):
+        proc = ModulatedPoissonProcess(lambda t: -1.0, rate_max=20.0)
+        with pytest.raises(ValueError, match="negative"):
+            proc.next_interarrival(rng, 0.0)
+
+    def test_horizon_ends_process(self, rng):
+        proc = ModulatedPoissonProcess(lambda t: 100.0, rate_max=100.0, horizon=1.0)
+        t = 0.0
+        while True:
+            gap = proc.next_interarrival(rng, t)
+            if math.isinf(gap):
+                break
+            t += gap
+        assert t <= 1.0
+
+
+class TestMMPP:
+    def test_mean_rate_formula(self):
+        proc = MMPPProcess(10.0, 100.0, mean_low_duration=9.0, mean_high_duration=1.0)
+        assert proc.mean_rate() == pytest.approx(19.0)
+
+    def test_long_run_rate_near_mean(self, rng):
+        proc = MMPPProcess(10.0, 100.0, mean_low_duration=1.0, mean_high_duration=1.0)
+        measured = 1.0 / mean_gap(proc, rng, n=30000)
+        assert measured == pytest.approx(proc.mean_rate(), rel=0.15)
+
+    def test_burstiness_exceeds_poisson(self, rng):
+        # Squared CV of inter-arrivals > 1 for an MMPP with distinct rates.
+        proc = MMPPProcess(5.0, 200.0, mean_low_duration=2.0, mean_high_duration=2.0)
+        t, gaps = 0.0, []
+        for _ in range(20000):
+            g = proc.next_interarrival(rng, t)
+            gaps.append(g)
+            t += g
+        gaps = np.array(gaps)
+        cv2 = gaps.var() / gaps.mean() ** 2
+        assert cv2 > 1.5
+
+    def test_rate_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            MMPPProcess(100.0, 10.0, 1.0, 1.0)

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_region_defaults(self):
+        args = build_parser().parse_args(["region"])
+        assert args.command == "region"
+        assert args.budget == "low"
+        assert args.agents == 20
+
+    def test_compare_scheme_selection(self):
+        args = build_parser().parse_args(
+            ["compare", "--schemes", "capping", "anti-dope"]
+        )
+        assert args.schemes == ["capping", "anti-dope"]
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--schemes", "nope"])
+
+    def test_budget_choices(self):
+        args = build_parser().parse_args(["attack", "--budget", "medium"])
+        assert args.budget == "medium"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "--budget", "ultra"])
+
+
+class TestCommands:
+    def test_region_command_runs(self, capsys):
+        code = main(
+            ["region", "--rates", "50", "300", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "DOPE region" in out
+        assert "colla-filt" in out
+        assert "dope" in out  # the region is non-empty at low budget
+
+    def test_compare_command_runs(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--schemes",
+                "capping",
+                "anti-dope",
+                "--duration",
+                "90",
+                "--attack-rate",
+                "200",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "capping" in out and "anti-dope" in out
+        assert "mean ms" in out
+
+    def test_attack_command_runs(self, capsys):
+        code = main(["attack", "--duration", "120", "--budget", "medium"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "probe-and-adjust" in out
+        assert "converged:" in out
+
+    def test_deterministic_per_seed(self, capsys):
+        main(["compare", "--schemes", "capping", "--duration", "60", "--seed", "3"])
+        first = capsys.readouterr().out
+        main(["compare", "--schemes", "capping", "--duration", "60", "--seed", "3"])
+        second = capsys.readouterr().out
+        assert first == second

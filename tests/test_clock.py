@@ -1,0 +1,37 @@
+"""Unit tests for the simulation clock."""
+
+import pytest
+
+from repro.sim import SimulationClock
+
+
+class TestSimulationClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimulationClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimulationClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationClock(-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = SimulationClock()
+        clock.advance_to(3.5)
+        assert clock.now == 3.5
+
+    def test_advance_to_same_time_is_ok(self):
+        clock = SimulationClock(2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+    def test_advance_backwards_rejected(self):
+        clock = SimulationClock(10.0)
+        with pytest.raises(ValueError, match="backwards"):
+            clock.advance_to(9.999)
+
+    def test_advance_to_nan_rejected(self):
+        clock = SimulationClock()
+        with pytest.raises(ValueError):
+            clock.advance_to(float("nan"))

@@ -1,0 +1,153 @@
+"""Unit tests for the closed-loop (fixed-concurrency) generator."""
+
+import pytest
+
+from repro.cluster import Rack
+from repro.network import NetworkLoadBalancer, SourceRegistry
+from repro.workloads import COLLA_FILT, TEXT_CONT, TrafficClass
+from repro.workloads.generator import ClosedLoopGenerator, clients_for_rate
+
+
+@pytest.fixture
+def registry():
+    return SourceRegistry()
+
+
+def make_closed_loop(engine, rng, registry, rack, clients=8, think=0.1, mix=TEXT_CONT):
+    pool = registry.allocate("cl", TrafficClass.ATTACK, 4)
+    nlb = NetworkLoadBalancer(rack.servers, now=lambda: engine.now)
+    gen = ClosedLoopGenerator(
+        engine=engine,
+        dispatch=nlb.dispatch,
+        rng=rng,
+        source_pool=pool,
+        mix=mix,
+        num_clients=clients,
+        think_s=think,
+    )
+    return gen, nlb
+
+
+class TestConcurrencyInvariant:
+    def test_outstanding_never_exceeds_clients(self, engine, rng, registry, rack):
+        gen, _ = make_closed_loop(engine, rng, registry, rack, clients=6, think=0.0)
+        gen.start()
+        max_seen = []
+        stop = engine.every(0.01, lambda: max_seen.append(rack.total_in_system()))
+        engine.run(until=5.0)
+        stop()
+        assert max(max_seen) <= 6
+
+    def test_rate_self_limits_to_capacity(self, engine, rng, registry, rack):
+        # 64 clients of heavy requests against 32 workers: the achieved
+        # rate is bounded by service capacity, not by client count.
+        gen, _ = make_closed_loop(
+            engine, rng, registry, rack, clients=64, think=0.0, mix=COLLA_FILT
+        )
+        gen.start()
+        engine.run(until=20.0)
+        capacity = 32 / COLLA_FILT.base_service_s
+        achieved = gen.generated / 20.0
+        assert achieved <= capacity * 1.05
+
+    def test_throttling_reduces_achieved_rate(self, engine, rng, registry, rack):
+        gen, _ = make_closed_loop(
+            engine, rng, registry, rack, clients=64, think=0.0, mix=COLLA_FILT
+        )
+        gen.start()
+        engine.run(until=10.0)
+        fast = gen.generated
+        rack.set_all_levels(0)
+        engine.run(until=20.0)
+        slow = gen.generated - fast
+        assert slow < fast * 0.75
+
+
+class TestRateSizing:
+    def test_clients_for_rate_littles_law(self):
+        # rate × (think + service) clients.
+        n = clients_for_rate(100.0, TEXT_CONT, think_s=0.2)
+        assert n == round(100 * (0.2 + TEXT_CONT.base_service_s))
+
+    def test_clients_for_rate_minimum_one(self):
+        assert clients_for_rate(0.1, TEXT_CONT, think_s=0.0) == 1
+
+    def test_achieved_rate_near_target_when_unloaded(
+        self, engine, rng, registry, rack
+    ):
+        target = 50.0
+        clients = clients_for_rate(target, TEXT_CONT, think_s=0.2)
+        gen, _ = make_closed_loop(
+            engine, rng, registry, rack, clients=clients, think=0.2
+        )
+        gen.start()
+        engine.run(until=30.0)
+        achieved = gen.generated / 30.0
+        assert achieved == pytest.approx(target, rel=0.2)
+
+
+class TestDynamicSizing:
+    def test_set_clients_grows_pool(self, engine, rng, registry, rack):
+        gen, _ = make_closed_loop(engine, rng, registry, rack, clients=2, think=0.1)
+        gen.start()
+        engine.run(until=5.0)
+        rate_small = gen.generated / 5.0
+        gen.set_clients(16)
+        engine.run(until=15.0)
+        rate_big = (gen.generated) / 15.0
+        assert rate_big > rate_small * 2
+
+    def test_set_clients_shrinks_pool(self, engine, rng, registry, rack):
+        gen, _ = make_closed_loop(engine, rng, registry, rack, clients=16, think=0.1)
+        gen.start()
+        engine.run(until=5.0)
+        first = gen.generated
+        gen.set_clients(2)
+        engine.run(until=10.0)
+        second = gen.generated - first
+        assert second < first * 0.5
+
+    def test_set_clients_validation(self, engine, rng, registry, rack):
+        gen, _ = make_closed_loop(engine, rng, registry, rack)
+        with pytest.raises(ValueError):
+            gen.set_clients(0)
+
+
+class TestLifecycle:
+    def test_stop_ends_generation(self, engine, rng, registry, rack):
+        gen, _ = make_closed_loop(engine, rng, registry, rack, clients=4, think=0.05)
+        gen.start()
+        engine.schedule(2.0, gen.stop)
+        engine.run(until=10.0)
+        at_stop = gen.generated
+        engine.run(until=20.0)
+        assert gen.generated == at_stop
+
+    def test_drops_reissue_after_think(self, engine, rng, registry):
+        # With a zero-capacity backend every request drops; the client
+        # keeps retrying rather than deadlocking.
+        import numpy as np
+
+        rack = Rack(
+            engine, num_servers=1, rng=np.random.default_rng(0), queue_capacity=0
+        )
+        for i in range(rack.servers[0].num_workers):
+            # Fill all workers with a long request so everything drops.
+            from repro.network import Request
+            from repro.workloads import K_MEANS
+
+            rack.servers[0].submit(
+                Request(K_MEANS, 100 + i, TrafficClass.NORMAL, 0.0)
+            )
+        gen, nlb = make_closed_loop(engine, rng, registry, rack, clients=2, think=0.05)
+        gen.start()
+        engine.run(until=1.0)
+        assert gen.generated > 5
+        assert nlb.dropped > 5
+
+    def test_validation(self, engine, rng, registry, rack):
+        pool = registry.allocate("v", TrafficClass.ATTACK, 1)
+        with pytest.raises(ValueError):
+            ClosedLoopGenerator(
+                engine, lambda r: True, rng, pool, TEXT_CONT, num_clients=0
+            )

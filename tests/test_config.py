@@ -1,0 +1,62 @@
+"""Unit tests for the simulation configuration."""
+
+import pytest
+
+from repro import BudgetLevel, SimulationConfig
+
+
+class TestDefaults:
+    def test_paper_testbed_defaults(self):
+        cfg = SimulationConfig()
+        assert cfg.num_servers == 4
+        assert cfg.nameplate_w == 100.0
+        assert cfg.firewall_threshold_rps == 150.0
+        assert cfg.battery_sustain_s == 120.0
+        assert cfg.budget_level is BudgetLevel.NORMAL
+
+    def test_rack_nameplate(self):
+        assert SimulationConfig().rack_nameplate_w == 400.0
+
+    def test_supply_scales_with_level(self):
+        cfg = SimulationConfig(budget_level=BudgetLevel.LOW)
+        assert cfg.supply_w == pytest.approx(320.0)
+
+
+class TestDerivedCopies:
+    def test_with_budget(self):
+        cfg = SimulationConfig().with_budget(BudgetLevel.MEDIUM)
+        assert cfg.budget_level is BudgetLevel.MEDIUM
+        assert cfg.num_servers == 4
+
+    def test_with_seed(self):
+        assert SimulationConfig().with_seed(9).seed == 9
+
+    def test_without_firewall(self):
+        assert not SimulationConfig().without_firewall().use_firewall
+
+    def test_original_unchanged(self):
+        cfg = SimulationConfig()
+        cfg.with_budget(BudgetLevel.LOW)
+        assert cfg.budget_level is BudgetLevel.NORMAL
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SimulationConfig().seed = 5  # type: ignore[misc]
+
+
+class TestValidation:
+    def test_invalid_servers(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(num_servers=0)
+
+    def test_invalid_slot(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(slot_s=0.0)
+
+    def test_invalid_idle_fraction(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(idle_fraction=1.0)
+
+    def test_invalid_seed(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(seed=-1)

@@ -1,0 +1,140 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import EventEngine
+
+
+class TestScheduling:
+    def test_schedule_relative(self, engine):
+        fired = []
+        engine.schedule(2.0, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [2.0]
+
+    def test_schedule_absolute(self, engine):
+        fired = []
+        engine.schedule_at(5.0, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [5.0]
+
+    def test_schedule_in_past_rejected(self, engine):
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError, match="past"):
+            engine.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_cancel_prevents_dispatch(self, engine):
+        fired = []
+        event = engine.schedule(1.0, lambda: fired.append(1))
+        engine.cancel(event)
+        engine.run()
+        assert fired == []
+
+
+class TestRun:
+    def test_run_until_stops_clock_at_deadline(self, engine):
+        engine.schedule(10.0, lambda: None)
+        end = engine.run(until=4.0)
+        assert end == 4.0
+        assert engine.pending() == 1
+
+    def test_events_at_deadline_execute(self, engine):
+        fired = []
+        engine.schedule(4.0, lambda: fired.append(1))
+        engine.run(until=4.0)
+        assert fired == [1]
+
+    def test_run_drains_queue_without_deadline(self, engine):
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule(t, lambda: None)
+        engine.run()
+        assert engine.pending() == 0
+        assert engine.dispatched == 3
+
+    def test_clock_advances_to_deadline_when_queue_drains(self, engine):
+        engine.schedule(1.0, lambda: None)
+        engine.run(until=100.0)
+        assert engine.now == 100.0
+
+    def test_sequential_runs_continue(self, engine):
+        fired = []
+        engine.schedule(1.0, lambda: fired.append("a"))
+        engine.schedule(5.0, lambda: fired.append("b"))
+        engine.run(until=2.0)
+        assert fired == ["a"]
+        engine.run(until=10.0)
+        assert fired == ["a", "b"]
+
+    def test_reentrant_run_rejected(self, engine):
+        def bad():
+            engine.run()
+
+        engine.schedule(1.0, bad)
+        with pytest.raises(RuntimeError, match="re-entrant"):
+            engine.run()
+
+    def test_stop_halts_dispatch(self, engine):
+        fired = []
+
+        def first():
+            fired.append(1)
+            engine.stop()
+
+        engine.schedule(1.0, first)
+        engine.schedule(2.0, lambda: fired.append(2))
+        engine.run()
+        assert fired == [1]
+
+    def test_events_scheduled_during_run_execute(self, engine):
+        fired = []
+
+        def outer():
+            engine.schedule(1.0, lambda: fired.append("inner"))
+
+        engine.schedule(1.0, outer)
+        engine.run()
+        assert fired == ["inner"]
+        assert engine.now == 2.0
+
+
+class TestEvery:
+    def test_recurrence_fires_at_interval(self, engine):
+        fired = []
+        engine.every(2.0, lambda: fired.append(engine.now))
+        engine.run(until=7.0)
+        assert fired == [2.0, 4.0, 6.0]
+
+    def test_start_delay_overrides_first_interval(self, engine):
+        fired = []
+        engine.every(5.0, lambda: fired.append(engine.now), start_delay=1.0)
+        engine.run(until=12.0)
+        assert fired == [1.0, 6.0, 11.0]
+
+    def test_stop_function_cancels(self, engine):
+        fired = []
+        stop = engine.every(1.0, lambda: fired.append(engine.now))
+        engine.schedule(3.5, stop)
+        engine.run(until=10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_stop_from_inside_callback(self, engine):
+        fired = []
+        holder = {}
+
+        def cb():
+            fired.append(engine.now)
+            if len(fired) == 2:
+                holder["stop"]()
+
+        holder["stop"] = engine.every(1.0, cb)
+        engine.run(until=10.0)
+        assert fired == [1.0, 2.0]
+
+    def test_zero_interval_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.every(0.0, lambda: None)

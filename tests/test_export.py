@@ -1,0 +1,103 @@
+"""Unit tests for result export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro import DataCenterSimulation, SimulationConfig
+from repro.analysis.export import (
+    collector_summary,
+    meter_to_csv,
+    records_to_csv,
+    stats_to_json,
+)
+from repro.metrics import LatencyStats
+
+
+@pytest.fixture(scope="module")
+def sim():
+    sim = DataCenterSimulation(SimulationConfig(seed=2))
+    sim.add_normal_traffic(rate_rps=30)
+    sim.run(20.0)
+    return sim
+
+
+class TestRecordsCSV:
+    def test_roundtrip_row_count(self, sim, tmp_path):
+        path = str(tmp_path / "records.csv")
+        n = records_to_csv(sim.collector.records, path)
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == n == len(sim.collector.records)
+
+    def test_columns_and_values(self, sim):
+        buf = io.StringIO()
+        records_to_csv(sim.collector.records[:3], buf)
+        buf.seek(0)
+        rows = list(csv.DictReader(buf))
+        assert set(rows[0]) == {
+            "request_id",
+            "type",
+            "class",
+            "outcome",
+            "arrival_s",
+            "finish_s",
+            "response_ms",
+            "server",
+        }
+        assert rows[0]["class"] == "normal"
+        assert float(rows[0]["response_ms"]) > 0
+
+
+class TestMeterCSV:
+    def test_sample_export(self, sim):
+        buf = io.StringIO()
+        n = meter_to_csv(sim.meter, buf)
+        buf.seek(0)
+        rows = list(csv.DictReader(buf))
+        assert len(rows) == n == len(sim.meter)
+        assert float(rows[0]["power_w"]) > 0
+        assert float(rows[-1]["battery_soc"]) == 1.0
+
+
+class TestStatsJSON:
+    def test_json_payload(self, sim, tmp_path):
+        path = str(tmp_path / "stats.json")
+        stats_to_json(
+            {"normal": sim.latency_stats()},
+            path,
+            extra={"seed": 2, "scheme": "none"},
+        )
+        with open(path) as fh:
+            payload = json.load(fh)
+        assert payload["meta"]["seed"] == 2
+        assert payload["latency"]["normal"]["count"] > 0
+        assert payload["latency"]["normal"]["mean_ms"] > 0
+
+    def test_empty_stats_serialisable(self, tmp_path):
+        buf = io.StringIO()
+        stats_to_json({"empty": LatencyStats.from_times([])}, buf)
+        buf.seek(0)
+        payload = json.load(buf)
+        # NaNs serialise as JSON NaN tokens accepted by json.load.
+        assert payload["latency"]["empty"]["count"] == 0
+
+
+class TestCollectorSummary:
+    def test_summary_structure(self, sim):
+        summary = collector_summary(sim.collector)
+        assert summary["total"] == len(sim.collector)
+        assert "normal" in summary["by_class"]
+        normal = summary["by_class"]["normal"]
+        assert normal["count"] > 0
+        assert normal["outcomes"]["completed"] > 0
+        assert normal["latency"]["mean_ms"] > 0
+
+    def test_empty_collector(self):
+        from repro.metrics import MetricsCollector
+
+        summary = collector_summary(MetricsCollector())
+        assert summary["total"] == 0
+        assert summary["by_class"] == {}

@@ -1,0 +1,130 @@
+"""Unit tests for the open-loop traffic generator."""
+
+import pytest
+
+from repro.network import SourceRegistry
+from repro.trace import ConstantRateProcess, PoissonProcess
+from repro.workloads import (
+    COLLA_FILT,
+    TEXT_CONT,
+    RequestMix,
+    TrafficClass,
+)
+from repro.workloads.generator import TrafficGenerator
+
+
+@pytest.fixture
+def registry():
+    return SourceRegistry()
+
+
+def make_generator(engine, rng, registry, rate=10.0, agents=4, mix=TEXT_CONT):
+    pool = registry.allocate("gen", TrafficClass.ATTACK, agents)
+    received = []
+    gen = TrafficGenerator(
+        engine=engine,
+        dispatch=lambda r: received.append(r) or True,
+        rng=rng,
+        source_pool=pool,
+        mix=mix,
+        process=ConstantRateProcess(rate),
+        label="gen",
+    )
+    return gen, received
+
+
+class TestGeneration:
+    def test_rate_is_respected(self, engine, rng, registry):
+        gen, received = make_generator(engine, rng, registry, rate=10.0)
+        gen.start()
+        engine.run(until=10.0)
+        assert len(received) == pytest.approx(100, abs=2)
+
+    def test_sources_cycle_round_robin(self, engine, rng, registry):
+        gen, received = make_generator(engine, rng, registry, rate=10.0, agents=4)
+        gen.start()
+        engine.run(until=2.0)
+        sources = [r.source_id for r in received]
+        assert sources[:8] == [
+            sources[0],
+            sources[0] + 1,
+            sources[0] + 2,
+            sources[0] + 3,
+        ] * 2
+
+    def test_traffic_class_tagging(self, engine, rng, registry):
+        gen, received = make_generator(engine, rng, registry)
+        gen.start()
+        engine.run(until=1.0)
+        assert all(r.traffic_class is TrafficClass.ATTACK for r in received)
+
+    def test_single_type_wrapped_as_mix(self, engine, rng, registry):
+        gen, received = make_generator(engine, rng, registry, mix=COLLA_FILT)
+        gen.start()
+        engine.run(until=1.0)
+        assert all(r.rtype is COLLA_FILT for r in received)
+
+    def test_mix_sampling(self, engine, rng, registry):
+        mix = RequestMix({COLLA_FILT: 0.5, TEXT_CONT: 0.5})
+        gen, received = make_generator(engine, rng, registry, rate=100.0, mix=mix)
+        gen.start()
+        engine.run(until=10.0)
+        names = {r.rtype.name for r in received}
+        assert names == {"colla-filt", "text-cont"}
+
+
+class TestLifecycle:
+    def test_start_delay(self, engine, rng, registry):
+        gen, received = make_generator(engine, rng, registry, rate=10.0)
+        gen.start(delay=5.0)
+        engine.run(until=5.05)
+        assert len(received) == 0
+        engine.run(until=6.0)
+        assert len(received) > 0
+
+    def test_stop_halts_generation(self, engine, rng, registry):
+        gen, received = make_generator(engine, rng, registry, rate=10.0)
+        gen.start()
+        engine.schedule(2.0, gen.stop)
+        engine.run(until=10.0)
+        assert len(received) == pytest.approx(20, abs=2)
+
+    def test_run_window(self, engine, rng, registry):
+        gen, received = make_generator(engine, rng, registry, rate=10.0)
+        gen.run_window(3.0, 5.0)
+        engine.run(until=10.0)
+        times = [r.arrival_time for r in received]
+        assert all(3.0 <= t <= 5.0 for t in times)
+        assert len(times) == pytest.approx(20, abs=2)
+
+    def test_double_start_rejected(self, engine, rng, registry):
+        gen, _ = make_generator(engine, rng, registry)
+        gen.start()
+        with pytest.raises(RuntimeError):
+            gen.start()
+
+    def test_set_rate_changes_pacing(self, engine, rng, registry):
+        gen, received = make_generator(engine, rng, registry, rate=10.0)
+        gen.start()
+        engine.schedule(5.0, lambda: gen.set_rate(100.0))
+        engine.run(until=10.0)
+        early = sum(1 for r in received if r.arrival_time < 5.0)
+        late = sum(1 for r in received if r.arrival_time >= 5.0)
+        assert early == pytest.approx(50, abs=3)
+        assert late == pytest.approx(500, abs=10)
+
+    def test_generated_and_accepted_counters(self, engine, rng, registry):
+        pool = registry.allocate("g2", TrafficClass.NORMAL, 1)
+        flags = iter([True, False, True, True])
+        gen = TrafficGenerator(
+            engine,
+            lambda r: next(flags, True),
+            rng,
+            pool,
+            TEXT_CONT,
+            ConstantRateProcess(10.0),
+        )
+        gen.start()
+        engine.run(until=0.45)
+        assert gen.generated == 4
+        assert gen.accepted == 3

@@ -1,0 +1,99 @@
+"""Unit and property tests for the facility budget allocator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.power.hierarchy import FacilityBudgetAllocator
+
+
+class TestBasicAllocation:
+    def test_underloaded_facility_satisfies_everyone(self):
+        allocator = FacilityBudgetAllocator(1000.0)
+        allocations = allocator.allocate([200.0, 300.0, 100.0])
+        assert all(a.satisfied for a in allocations)
+        assert [a.allocated_w for a in allocations] == [200.0, 300.0, 100.0]
+
+    def test_overloaded_facility_shares_proportionally(self):
+        allocator = FacilityBudgetAllocator(600.0, floor_fraction=0.0)
+        allocations = allocator.allocate([400.0, 800.0])
+        # 600 split 1:2 over demands 400:800.
+        assert allocations[0].allocated_w == pytest.approx(200.0)
+        assert allocations[1].allocated_w == pytest.approx(400.0)
+
+    def test_surplus_reoffered_when_floor_exceeds_demand(self):
+        # Floors of 225 W each: rack 0 caps at its 100 W demand and the
+        # surplus flows to the hungry rack.
+        allocator = FacilityBudgetAllocator(900.0, floor_fraction=0.5)
+        allocations = allocator.allocate([100.0, 1000.0])
+        assert allocations[0].allocated_w == pytest.approx(100.0)
+        assert allocations[1].allocated_w == pytest.approx(800.0)
+
+    def test_floor_keeps_starved_rack_alive(self):
+        allocator = FacilityBudgetAllocator(1000.0, floor_fraction=0.2)
+        allocations = allocator.allocate([10000.0, 50.0])
+        # Rack 1's tiny demand would be swamped proportionally (~0.5 %);
+        # the floor guarantees it up to 100 W (capped at demand 50).
+        assert allocations[1].allocated_w == pytest.approx(50.0)
+
+    def test_zero_demand_gets_zero(self):
+        allocator = FacilityBudgetAllocator(100.0)
+        allocations = allocator.allocate([0.0, 500.0])
+        assert allocations[0].allocated_w == 0.0
+        assert allocations[1].allocated_w == pytest.approx(100.0)
+
+    def test_allocate_map(self):
+        allocator = FacilityBudgetAllocator(100.0)
+        out = allocator.allocate_map({7: 30.0, 3: 40.0})
+        assert set(out) == {3, 7}
+        assert out[3] + out[7] <= 100.0 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FacilityBudgetAllocator(0.0)
+        with pytest.raises(ValueError):
+            FacilityBudgetAllocator(100.0).allocate([])
+
+
+demand_lists = st.lists(
+    st.floats(min_value=0.0, max_value=5000.0, allow_nan=False),
+    min_size=1,
+    max_size=12,
+)
+budgets = st.floats(min_value=1.0, max_value=10000.0, allow_nan=False)
+floors = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestAllocatorProperties:
+    @given(demands=demand_lists, budget=budgets, floor=floors)
+    def test_never_exceeds_budget_or_demand(self, demands, budget, floor):
+        allocator = FacilityBudgetAllocator(budget, floor_fraction=floor)
+        allocations = allocator.allocate(demands)
+        total = sum(a.allocated_w for a in allocations)
+        assert total <= budget + 1e-6
+        for a in allocations:
+            assert -1e-9 <= a.allocated_w <= a.demand_w + 1e-6
+
+    @given(demands=demand_lists, budget=budgets)
+    def test_full_satisfaction_when_demand_fits(self, demands, budget):
+        allocator = FacilityBudgetAllocator(budget)
+        if sum(demands) <= budget:
+            allocations = allocator.allocate(demands)
+            assert all(a.satisfied for a in allocations)
+
+    @given(demands=demand_lists, budget=budgets)
+    def test_work_conserving_when_oversubscribed(self, demands, budget):
+        """If demand exceeds the budget, (almost) all of it is handed out."""
+        allocator = FacilityBudgetAllocator(budget, floor_fraction=0.0)
+        if sum(demands) > budget and all(d > 0 for d in demands):
+            allocations = allocator.allocate(demands)
+            total = sum(a.allocated_w for a in allocations)
+            assert total == pytest.approx(budget, rel=1e-6)
+
+    @given(demands=demand_lists, budget=budgets)
+    def test_monotone_in_demand(self, demands, budget):
+        allocator = FacilityBudgetAllocator(budget, floor_fraction=0.0)
+        allocations = allocator.allocate(demands)
+        pairs = sorted(zip(demands, [a.allocated_w for a in allocations]))
+        for (d1, a1), (d2, a2) in zip(pairs, pairs[1:]):
+            assert a1 <= a2 + 1e-6

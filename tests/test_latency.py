@@ -1,0 +1,78 @@
+"""Unit tests for latency statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics import LatencyStats, slowdown
+from repro.network import CompletionRecord, Request, RequestOutcome
+from repro.workloads import TEXT_CONT, TrafficClass
+
+
+class TestFromTimes:
+    def test_basic_statistics(self):
+        stats = LatencyStats.from_times([0.1, 0.2, 0.3, 0.4])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(0.25)
+        assert stats.minimum == pytest.approx(0.1)
+        assert stats.maximum == pytest.approx(0.4)
+
+    def test_percentiles_are_exact_order_statistics(self):
+        times = list(np.arange(1, 101) / 100.0)  # 0.01 .. 1.00
+        stats = LatencyStats.from_times(times)
+        assert stats.p50 == pytest.approx(np.percentile(times, 50))
+        assert stats.p90 == pytest.approx(np.percentile(times, 90))
+        assert stats.p99 == pytest.approx(np.percentile(times, 99))
+
+    def test_empty_sample_gives_nan(self):
+        stats = LatencyStats.from_times([])
+        assert stats.count == 0
+        assert math.isnan(stats.mean)
+        assert math.isnan(stats.p90)
+
+    def test_single_sample(self):
+        stats = LatencyStats.from_times([0.5])
+        assert stats.mean == stats.p50 == stats.p99 == 0.5
+
+
+class TestFromRecords:
+    def test_drops_excluded(self):
+        req = Request(TEXT_CONT, 0, TrafficClass.NORMAL, 0.0)
+        records = [
+            CompletionRecord(req, RequestOutcome.COMPLETED, 0.2),
+            CompletionRecord(req, RequestOutcome.DROPPED_FIREWALL, 0.0),
+        ]
+        stats = LatencyStats.from_records(records)
+        assert stats.count == 1
+        assert stats.mean == pytest.approx(0.2)
+
+
+class TestAccessors:
+    def test_named_percentile(self):
+        stats = LatencyStats.from_times([0.1, 0.9])
+        assert stats.percentile(90) == stats.p90
+        with pytest.raises(ValueError):
+            stats.percentile(75)
+
+    def test_as_millis(self):
+        stats = LatencyStats.from_times([0.1])
+        ms = stats.as_millis()
+        assert ms["mean_ms"] == pytest.approx(100.0)
+        assert ms["count"] == 1
+
+
+class TestSlowdown:
+    def test_ratios(self):
+        base = LatencyStats.from_times([0.1] * 10)
+        worse = LatencyStats.from_times([0.74] * 10)
+        ratios = slowdown(worse, base)
+        # The paper's 7.4x mean response-time multiplier.
+        assert ratios["mean"] == pytest.approx(7.4)
+        assert ratios["p90"] == pytest.approx(7.4)
+
+    def test_empty_baseline_rejected(self):
+        base = LatencyStats.from_times([])
+        other = LatencyStats.from_times([0.1])
+        with pytest.raises(ValueError):
+            slowdown(other, base)

@@ -1,0 +1,105 @@
+"""Unit tests for the online URL power profiler."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Rack
+from repro.core.online_profiler import OnlineUrlPowerProfiler
+from repro.network import NetworkLoadBalancer, Request
+from repro.workloads import COLLA_FILT, TEXT_CONT, VOLUME_DOS, TrafficClass
+
+
+@pytest.fixture
+def setup(engine):
+    rack = Rack(engine, num_servers=2, rng=np.random.default_rng(0))
+    nlb = NetworkLoadBalancer(rack.servers, now=lambda: engine.now)
+    profiler = OnlineUrlPowerProfiler(engine, rack, interval_s=0.5, min_samples=10)
+    return rack, nlb, profiler
+
+
+def sustain(engine, nlb, rtype, until, rate=200.0):
+    """Keep a steady stream of *rtype* flowing until *until*."""
+    stop = {}
+
+    def feed():
+        nlb.dispatch(Request(rtype, 1, TrafficClass.ATTACK, engine.now))
+
+    stop["fn"] = engine.every(1.0 / rate, feed)
+    engine.schedule_at(until, lambda: stop["fn"]())
+
+
+class TestAttribution:
+    def test_learns_heavy_vs_light_ordering(self, engine, setup):
+        rack, nlb, profiler = setup
+        profiler.start()
+        sustain(engine, nlb, COLLA_FILT, until=20.0, rate=100.0)
+        sustain(engine, nlb, TEXT_CONT, until=20.0, rate=100.0)
+        engine.run(until=20.0)
+        heavy = profiler.full_load_estimate_w(COLLA_FILT.url)
+        light = profiler.full_load_estimate_w(TEXT_CONT.url)
+        assert heavy > light
+
+    def test_estimate_near_model_truth_for_pure_load(self, engine, setup):
+        rack, nlb, profiler = setup
+        profiler.start()
+        sustain(engine, nlb, COLLA_FILT, until=30.0, rate=150.0)
+        engine.run(until=30.0)
+        truth = rack.power_model.full_load_power(COLLA_FILT, 1.0)
+        estimate = profiler.full_load_estimate_w(COLLA_FILT.url)
+        assert estimate == pytest.approx(truth, rel=0.10)
+
+    def test_unprofiled_url_raises(self, setup):
+        _, _, profiler = setup
+        with pytest.raises(KeyError):
+            profiler.full_load_estimate_w("/never/seen")
+
+    def test_min_samples_gate(self, engine, setup):
+        rack, nlb, profiler = setup
+        profiler.min_samples = 10_000
+        profiler.start()
+        sustain(engine, nlb, COLLA_FILT, until=5.0)
+        engine.run(until=5.0)
+        assert profiler.profiled_urls() == []
+
+
+class TestSuspectListEmission:
+    def test_learned_list_matches_offline_classification(self, engine, setup):
+        rack, nlb, profiler = setup
+        profiler.start()
+        sustain(engine, nlb, COLLA_FILT, until=25.0, rate=120.0)
+        sustain(engine, nlb, TEXT_CONT, until=25.0, rate=120.0)
+        sustain(engine, nlb, VOLUME_DOS, until=25.0, rate=120.0)
+        engine.run(until=25.0)
+        sl = profiler.to_suspect_list(threshold_fraction=0.70)
+        assert sl.is_suspect(COLLA_FILT.url)
+        assert not sl.is_suspect(TEXT_CONT.url)
+        assert not sl.is_suspect(VOLUME_DOS.url)
+
+    def test_empty_profile_refuses_to_classify(self, setup):
+        _, _, profiler = setup
+        with pytest.raises(ValueError, match="samples"):
+            profiler.to_suspect_list()
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self, setup):
+        _, _, profiler = setup
+        profiler.start()
+        with pytest.raises(RuntimeError):
+            profiler.start()
+
+    def test_stop_halts_sampling(self, engine, setup):
+        rack, nlb, profiler = setup
+        profiler.start()
+        sustain(engine, nlb, COLLA_FILT, until=30.0)
+        engine.run(until=5.0)
+        profiler.stop()
+        counts = profiler.observations[COLLA_FILT.url].samples
+        engine.run(until=15.0)
+        assert profiler.observations[COLLA_FILT.url].samples == counts
+
+    def test_idle_servers_contribute_nothing(self, engine, setup):
+        _, _, profiler = setup
+        profiler.start()
+        engine.run(until=5.0)
+        assert profiler.observations == {}

@@ -1,0 +1,81 @@
+"""Tests for the DOPE-region analyzer (paper Fig. 11)."""
+
+import pytest
+
+from repro.analysis import DopeRegionAnalyzer, RegionCell
+from repro.power import BudgetLevel
+from repro.sim import SimulationConfig
+from repro.workloads import COLLA_FILT, VOLUME_DOS
+
+
+class TestRegionCell:
+    def test_zone_classification(self):
+        base = dict(
+            type_name="x", rate_rps=1.0, num_agents=1,
+            peak_power_w=0.0, budget_w=100.0,
+        )
+        assert RegionCell(**base, violated=True, detected=False).zone == "dope"
+        assert RegionCell(**base, violated=True, detected=True).zone == "detected"
+        assert RegionCell(**base, violated=False, detected=True).zone == "filtered"
+        assert RegionCell(**base, violated=False, detected=False).zone == "benign"
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return DopeRegionAnalyzer(
+        config=SimulationConfig(budget_level=BudgetLevel.LOW, seed=5),
+        window_s=40.0,
+        num_agents=20,
+        background_rate_rps=20.0,
+    )
+
+
+class TestProbe:
+    def test_low_rate_heavy_traffic_is_benign(self, analyzer):
+        cell = analyzer.probe(COLLA_FILT, rate_rps=20.0)
+        assert cell.zone == "benign"
+
+    def test_high_rate_heavy_traffic_is_dope(self, analyzer):
+        # Spread over 20 agents, 400 rps of Colla-Filt violates the
+        # Low-PB budget while every agent stays under 150 req/s.
+        cell = analyzer.probe(COLLA_FILT, rate_rps=400.0)
+        assert cell.violated
+        assert not cell.detected
+        assert cell.zone == "dope"
+
+    def test_volume_flood_from_few_agents_is_filtered(self):
+        analyzer = DopeRegionAnalyzer(
+            config=SimulationConfig(budget_level=BudgetLevel.LOW, seed=5),
+            window_s=40.0,
+            num_agents=2,  # 2500 rps per agent >> 150 threshold
+        )
+        cell = analyzer.probe(VOLUME_DOS, rate_rps=5000.0)
+        assert cell.detected
+        assert not cell.violated
+
+
+class TestSweep:
+    def test_sweep_covers_grid(self, analyzer):
+        result = analyzer.sweep([COLLA_FILT], [30.0, 400.0])
+        assert len(result.cells) == 2
+        assert result.zone_of("colla-filt", 30.0) == "benign"
+        assert result.zone_of("colla-filt", 400.0) == "dope"
+
+    def test_onset_rate(self, analyzer):
+        result = analyzer.sweep([COLLA_FILT], [30.0, 400.0])
+        assert result.dope_onset_rate("colla-filt") == 400.0
+
+    def test_onset_none_when_never_dope(self, analyzer):
+        result = analyzer.sweep([COLLA_FILT], [10.0])
+        assert result.dope_onset_rate("colla-filt") is None
+
+    def test_unknown_cell_raises(self, analyzer):
+        result = analyzer.sweep([COLLA_FILT], [10.0])
+        with pytest.raises(KeyError):
+            result.zone_of("k-means", 10.0)
+
+    def test_as_rows(self, analyzer):
+        result = analyzer.sweep([COLLA_FILT], [10.0])
+        rows = result.as_rows()
+        assert len(rows) == 1
+        assert rows[0][0] == "colla-filt"

@@ -1,0 +1,36 @@
+"""Unit tests for the tabular reporter."""
+
+import pytest
+
+from repro.analysis import format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        out = format_table(["name", "value"], [["a", 1.0], ["bb", 22.5]])
+        lines = out.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1].replace(" ", "")) == {"-"}
+        assert len(lines) == 4
+
+    def test_number_formatting(self):
+        out = format_table(["v"], [[1234.5678], [12.345], [0.12345]])
+        assert "1235" in out  # large numbers rounded to integers
+        assert "12.3" in out
+        assert "0.123" in out
+
+    def test_nan_rendered_as_dash(self):
+        out = format_table(["v"], [[float("nan")]])
+        assert out.splitlines()[-1].strip() == "-"
+
+    def test_bool_rendering(self):
+        out = format_table(["flag"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_title_included(self):
+        out = format_table(["a"], [[1]], title="Table 9")
+        assert out.startswith("Table 9")
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])

@@ -1,0 +1,52 @@
+"""Unit tests for request and completion-record primitives."""
+
+import pytest
+
+from repro.network import CompletionRecord, Request, RequestOutcome
+from repro.workloads import COLLA_FILT, TEXT_CONT, TrafficClass
+
+
+class TestRequest:
+    def test_ids_are_unique_and_increasing(self):
+        a = Request(TEXT_CONT, 0, TrafficClass.NORMAL, 0.0)
+        b = Request(TEXT_CONT, 0, TrafficClass.NORMAL, 0.0)
+        assert b.request_id > a.request_id
+
+    def test_url_delegates_to_type(self):
+        req = Request(COLLA_FILT, 0, TrafficClass.ATTACK, 1.0)
+        assert req.url == COLLA_FILT.url
+
+    def test_initial_state(self):
+        req = Request(TEXT_CONT, 3, TrafficClass.NORMAL, 2.5)
+        assert req.start_service_time is None
+        assert req.server_id is None
+        assert req.on_terminal is None
+        assert req.arrival_time == 2.5
+        assert req.source_id == 3
+
+
+class TestCompletionRecord:
+    def test_response_time(self):
+        req = Request(TEXT_CONT, 0, TrafficClass.NORMAL, 10.0)
+        rec = CompletionRecord(req, RequestOutcome.COMPLETED, 10.25)
+        assert rec.response_time == pytest.approx(0.25)
+
+    def test_completed_flag(self):
+        req = Request(TEXT_CONT, 0, TrafficClass.NORMAL, 0.0)
+        assert CompletionRecord(req, RequestOutcome.COMPLETED, 1.0).completed
+        for outcome in (
+            RequestOutcome.DROPPED_FIREWALL,
+            RequestOutcome.DROPPED_TOKEN,
+            RequestOutcome.DROPPED_QUEUE_FULL,
+            RequestOutcome.TIMED_OUT,
+        ):
+            assert not CompletionRecord(req, outcome, 1.0).completed
+
+    def test_record_snapshots_request_fields(self):
+        req = Request(COLLA_FILT, 7, TrafficClass.ATTACK, 5.0)
+        req.server_id = 2
+        rec = CompletionRecord(req, RequestOutcome.COMPLETED, 6.0)
+        assert rec.type_name == "colla-filt"
+        assert rec.traffic_class is TrafficClass.ATTACK
+        assert rec.server_id == 2
+        assert rec.request_id == req.request_id

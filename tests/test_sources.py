@@ -1,0 +1,67 @@
+"""Unit tests for source pools and the registry."""
+
+import pytest
+
+from repro.network import SourcePool, SourceRegistry
+from repro.workloads import TrafficClass
+
+
+class TestSourcePool:
+    def test_id_block(self):
+        pool = SourcePool("bots", TrafficClass.ATTACK, size=5, first_id=10)
+        assert list(pool.ids) == [10, 11, 12, 13, 14]
+        assert len(pool) == 5
+
+    def test_contains(self):
+        pool = SourcePool("bots", TrafficClass.ATTACK, size=3, first_id=4)
+        assert pool.contains(4)
+        assert pool.contains(6)
+        assert not pool.contains(3)
+        assert not pool.contains(7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SourcePool("", TrafficClass.NORMAL, 1, 0)
+        with pytest.raises(ValueError):
+            SourcePool("x", TrafficClass.NORMAL, 0, 0)
+
+
+class TestSourceRegistry:
+    def test_blocks_do_not_overlap(self):
+        reg = SourceRegistry()
+        a = reg.allocate("users", TrafficClass.NORMAL, 100)
+        b = reg.allocate("bots", TrafficClass.ATTACK, 50)
+        assert set(a.ids).isdisjoint(set(b.ids))
+        assert reg.total_sources == 150
+
+    def test_pool_of_resolves_owner(self):
+        reg = SourceRegistry()
+        reg.allocate("users", TrafficClass.NORMAL, 10)
+        bots = reg.allocate("bots", TrafficClass.ATTACK, 10)
+        assert reg.pool_of(15) is bots
+        assert reg.pool_of(15).traffic_class is TrafficClass.ATTACK
+
+    def test_pool_of_unallocated_raises(self):
+        reg = SourceRegistry()
+        reg.allocate("users", TrafficClass.NORMAL, 10)
+        with pytest.raises(KeyError):
+            reg.pool_of(10)
+
+    def test_get_by_label(self):
+        reg = SourceRegistry()
+        pool = reg.allocate("alios", TrafficClass.NORMAL, 3)
+        assert reg.get("alios") is pool
+        with pytest.raises(KeyError):
+            reg.get("nope")
+
+    def test_duplicate_label_rejected(self):
+        reg = SourceRegistry()
+        reg.allocate("x", TrafficClass.NORMAL, 1)
+        with pytest.raises(ValueError):
+            reg.allocate("x", TrafficClass.NORMAL, 1)
+
+    def test_pools_listing_in_order(self):
+        reg = SourceRegistry()
+        reg.allocate("a", TrafficClass.NORMAL, 1)
+        reg.allocate("b", TrafficClass.ATTACK, 1)
+        assert [p.label for p in reg.pools] == ["a", "b"]

@@ -1,0 +1,112 @@
+"""Unit tests for windowed latency timelines."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics.timeline import LatencyTimeline
+from repro.network import CompletionRecord, Request, RequestOutcome
+from repro.workloads import TEXT_CONT, TrafficClass
+
+
+def rec(arrival, rt=0.1, completed=True):
+    req = Request(TEXT_CONT, 0, TrafficClass.NORMAL, arrival)
+    outcome = (
+        RequestOutcome.COMPLETED if completed else RequestOutcome.DROPPED_TOKEN
+    )
+    return CompletionRecord(req, outcome, arrival + rt if completed else arrival)
+
+
+class TestBucketing:
+    def test_grid_covers_span(self):
+        records = [rec(t) for t in (0.0, 5.0, 25.0)]
+        timeline = LatencyTimeline(records, bucket_s=10.0)
+        assert len(timeline) == 3
+        assert timeline.buckets[0].start_s == 0.0
+        assert timeline.buckets[-1].end_s == pytest.approx(30.0)
+
+    def test_records_assigned_to_buckets(self):
+        records = [rec(1.0), rec(2.0), rec(15.0)]
+        timeline = LatencyTimeline(records, bucket_s=10.0, start_s=0.0, end_s=20.0)
+        assert timeline.buckets[0].offered == 2
+        assert timeline.buckets[1].offered == 1
+
+    def test_explicit_bounds_filter_records(self):
+        records = [rec(1.0), rec(50.0)]
+        timeline = LatencyTimeline(records, bucket_s=10.0, start_s=0.0, end_s=20.0)
+        assert sum(b.offered for b in timeline.buckets) == 1
+
+    def test_boundary_record_lands_in_last_bucket(self):
+        records = [rec(0.0), rec(20.0)]
+        timeline = LatencyTimeline(records, bucket_s=10.0, start_s=0.0, end_s=20.0)
+        assert timeline.buckets[-1].offered == 1
+
+
+class TestStatistics:
+    def test_per_bucket_means(self):
+        records = [rec(1.0, rt=0.1), rec(2.0, rt=0.3), rec(15.0, rt=0.5)]
+        timeline = LatencyTimeline(records, bucket_s=10.0, start_s=0.0, end_s=20.0)
+        means = timeline.means()
+        assert means[0] == pytest.approx(0.2)
+        assert means[1] == pytest.approx(0.5)
+
+    def test_empty_bucket_is_nan(self):
+        records = [rec(1.0), rec(25.0)]
+        timeline = LatencyTimeline(records, bucket_s=10.0, start_s=0.0, end_s=30.0)
+        assert math.isnan(timeline.means()[1])
+
+    def test_drop_fraction(self):
+        records = [rec(1.0), rec(2.0, completed=False)]
+        timeline = LatencyTimeline(records, bucket_s=10.0)
+        assert timeline.buckets[0].drop_fraction == pytest.approx(0.5)
+
+    def test_worst_bucket(self):
+        records = [rec(1.0, rt=0.1), rec(15.0, rt=0.9)]
+        timeline = LatencyTimeline(records, bucket_s=10.0)
+        assert timeline.worst_bucket().stats.mean == pytest.approx(0.9)
+
+    def test_series_lengths_match(self):
+        records = [rec(float(t)) for t in range(30)]
+        timeline = LatencyTimeline(records, bucket_s=5.0)
+        n = len(timeline)
+        assert len(timeline.times()) == n
+        assert len(timeline.p90s()) == n
+        assert len(timeline.offered()) == n
+
+
+class TestIntegration:
+    def test_attack_visible_in_timeline(self):
+        """The DOPE onset appears as a step in the mean-latency series."""
+        from repro import BudgetLevel, CappingScheme, DataCenterSimulation
+        from repro import SimulationConfig
+        from repro.workloads import COLLA_FILT, K_MEANS, uniform_mix
+
+        sim = DataCenterSimulation(
+            SimulationConfig(budget_level=BudgetLevel.LOW, seed=3),
+            scheme=CappingScheme(),
+        )
+        sim.add_normal_traffic(rate_rps=40)
+        sim.add_flood(
+            mix=uniform_mix((COLLA_FILT, K_MEANS)),
+            rate_rps=250,
+            num_agents=20,
+            start_s=60,
+        )
+        sim.run(120.0)
+        timeline = LatencyTimeline(
+            sim.collector.filtered(traffic_class=TrafficClass.NORMAL),
+            bucket_s=20.0,
+            start_s=0.0,
+            end_s=120.0,
+        )
+        means = timeline.means()
+        pre = np.nanmean(means[:3])   # 0-60 s
+        post = np.nanmean(means[4:])  # 80-120 s
+        assert post > 2.0 * pre
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyTimeline([], bucket_s=10.0)
+        with pytest.raises(ValueError):
+            LatencyTimeline([rec(0.0)], bucket_s=0.0)

@@ -1,0 +1,101 @@
+"""Unit tests for the power token bucket (Table 2 row 3)."""
+
+import pytest
+
+from repro.network import Request
+from repro.power import PowerBudget, PowerTokenBucket, TokenScheme
+from repro.workloads import COLLA_FILT, TEXT_CONT, VOLUME_DOS, TrafficClass
+
+
+def req(rtype=COLLA_FILT):
+    return Request(rtype, 0, TrafficClass.ATTACK, 0.0)
+
+
+class TestBucketMechanics:
+    def test_admits_until_empty(self):
+        bucket = PowerTokenBucket(
+            refill_rate_w=10.0, burst_s=1.0, energy_cost_fn=lambda r: 4.0
+        )
+        assert bucket.admit(req(), now=0.0)
+        assert bucket.admit(req(), now=0.0)
+        assert not bucket.admit(req(), now=0.0)  # 10 - 8 = 2 < 4
+        assert bucket.dropped == 1
+
+    def test_refills_over_time(self):
+        bucket = PowerTokenBucket(10.0, 1.0, lambda r: 10.0)
+        assert bucket.admit(req(), now=0.0)
+        assert not bucket.admit(req(), now=0.0)
+        assert bucket.admit(req(), now=1.0)  # fully refilled
+
+    def test_capacity_caps_accumulation(self):
+        bucket = PowerTokenBucket(10.0, burst_s=2.0, energy_cost_fn=lambda r: 20.0)
+        # After a very long idle period tokens cap at 20 J, one admission.
+        assert bucket.admit(req(), now=100.0)
+        assert not bucket.admit(req(), now=100.0)
+
+    def test_cheap_requests_pass_while_expensive_blocked(self):
+        costs = {COLLA_FILT.name: 50.0, VOLUME_DOS.name: 0.1}
+        bucket = PowerTokenBucket(
+            1.0, burst_s=10.0, energy_cost_fn=lambda r: costs[r.rtype.name]
+        )
+        assert not bucket.admit(req(COLLA_FILT), now=0.0)
+        assert bucket.admit(req(VOLUME_DOS), now=0.0)
+
+    def test_drop_fraction(self):
+        bucket = PowerTokenBucket(2.0, 1.0, lambda r: 2.0)
+        bucket.admit(req(), now=0.0)  # admitted (capacity 2 J)
+        bucket.admit(req(), now=0.0)  # dropped (bucket dry)
+        assert bucket.drop_fraction == pytest.approx(0.5)
+
+    def test_negative_cost_rejected(self):
+        bucket = PowerTokenBucket(1.0, 1.0, lambda r: -1.0)
+        with pytest.raises(ValueError):
+            bucket.admit(req(), now=0.0)
+
+
+class TestTokenScheme:
+    def test_bucket_sized_from_budget(self, engine, rack):
+        scheme = TokenScheme(safety_factor=1.0)
+        scheme.bind(engine, rack, PowerBudget(352.0), None, 1.0)
+        # refill = supply - idle floor = 352 - 152 = 200 W.
+        assert scheme.bucket.refill_rate_w == pytest.approx(200.0)
+
+    def test_safety_factor_shrinks_refill(self, engine, rack):
+        scheme = TokenScheme(safety_factor=0.5)
+        scheme.bind(engine, rack, PowerBudget(352.0), None, 1.0)
+        assert scheme.bucket.refill_rate_w == pytest.approx(100.0)
+
+    def test_cost_uses_energy_model(self, engine, rack):
+        scheme = TokenScheme()
+        scheme.bind(engine, rack, PowerBudget(352.0), None, 1.0)
+        expected = rack.power_model.energy_per_request(COLLA_FILT, 1.0)
+        bucket = scheme.bucket
+        before = bucket.tokens_j
+        bucket.admit(req(COLLA_FILT), now=engine.now)
+        assert before - bucket.tokens_j == pytest.approx(expected)
+
+    def test_admission_filter_exposed(self, engine, rack):
+        scheme = TokenScheme()
+        scheme.bind(engine, rack, PowerBudget(352.0), None, 1.0)
+        assert scheme.admission_filter() is scheme.bucket
+
+    def test_step_keeps_nominal_frequency(self, engine, rack):
+        scheme = TokenScheme()
+        scheme.bind(engine, rack, PowerBudget(352.0), None, 1.0)
+        rack.set_all_levels(3)
+        scheme.step()
+        assert rack.levels() == [12] * 4
+
+    def test_invalid_safety_factor(self):
+        with pytest.raises(ValueError):
+            TokenScheme(safety_factor=0.0)
+        with pytest.raises(ValueError):
+            TokenScheme(safety_factor=1.2)
+
+    def test_light_traffic_unimpeded(self, engine, rack):
+        scheme = TokenScheme()
+        scheme.bind(engine, rack, PowerBudget(352.0), None, 1.0)
+        admitted = sum(
+            scheme.bucket.admit(req(TEXT_CONT), now=0.0) for _ in range(100)
+        )
+        assert admitted == 100
