@@ -49,10 +49,10 @@ def grid_violation_slots(sim):
     """Slots where grid draw (load minus battery delivery) broke budget."""
     battery_by_slot = {}
     for d in sim.scheme.rpm.stats.decisions:
-        battery_by_slot[round(d.time)] = d.battery_w
+        battery_by_slot[round(d.time_s)] = d.battery_w
     count = 0
     for sample in sim.meter.samples:
-        grid = sample.power_w - battery_by_slot.get(round(sample.time), 0.0)
+        grid = sample.power_w - battery_by_slot.get(round(sample.time_s), 0.0)
         if grid > sim.budget.supply_w + 1e-6:
             count += 1
     return count

@@ -72,7 +72,7 @@ def test_ext_detection_gap(benchmark):
     rows = []
     for name, (sim, detector) in runs.items():
         first_alarm = (
-            detector.stats.alarms[0].time if detector.stats.alarms else float("nan")
+            detector.stats.alarms[0].time_s if detector.stats.alarms else float("nan")
         )
         attributed = any(a.offenders for a in detector.stats.alarms)
         rows.append(
@@ -96,7 +96,7 @@ def test_ext_detection_gap(benchmark):
     assert dope_det.stats.alarm_count >= 1
     assert classic_det.stats.alarm_count >= 1
     # ...and detection is prompt (within two windows of onset).
-    assert dope_det.stats.alarms[0].time <= ATTACK_START + 15.0
+    assert dope_det.stats.alarms[0].time_s <= ATTACK_START + 15.0
     # But only the classic flood is attributable / bannable.
     assert all(a.offenders == [] for a in dope_det.stats.alarms)
     assert any(a.offenders for a in classic_det.stats.alarms)

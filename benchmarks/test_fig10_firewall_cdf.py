@@ -60,7 +60,7 @@ def test_fig10_firewall_cdf(benchmark):
                 cdf_open.median(),
                 cdf_fw.median(),
                 float(np.max(p_fw)),
-                sim_fw.firewall.stats.first_detection_time,
+                sim_fw.firewall.stats.first_detection_time_s,
                 sim_fw.firewall.stats.bans,
             )
         )
@@ -83,7 +83,7 @@ def test_fig10_firewall_cdf(benchmark):
         # The firewall catches the blatant flood...
         assert sim_fw.firewall.stats.bans >= NUM_AGENTS
         # ...after the initiating delay, during which power spiked.
-        assert sim_fw.firewall.stats.first_detection_time >= 10.0
+        assert sim_fw.firewall.stats.first_detection_time_s >= 10.0
         assert float(np.max(p_fw)) > float(np.median(p_fw)) + 20.0
     # Heavy types: firewalled median far below unfirewalled median.
     for t in ("colla-filt", "k-means", "word-count"):

@@ -47,7 +47,7 @@ def test_fig12_attack_algorithm(benchmark):
         ["t", "rate rps", "per-agent rps", "detected", "effective", "state"],
         [
             (
-                a.time,
+                a.time_s,
                 a.rate_rps,
                 a.rate_rps / a.num_agents,
                 a.detected,

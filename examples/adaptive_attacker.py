@@ -60,7 +60,7 @@ def main() -> None:
         ["t (s)", "aggregate rps", "per-agent rps", "detected", "effective", "state"],
         [
             (
-                a.time,
+                a.time_s,
                 a.rate_rps,
                 a.rate_rps / a.num_agents,
                 a.detected,

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Repo health gate: domain lint + tier-1 tests. Run from the repo root.
+#
+#   scripts/check.sh              lint src/repro, then the full test suite
+#   scripts/check.sh --lint-only  just the linter (fast, <2 s)
+#
+# Both checks are the same ones CI treats as tier-1; a clean exit here
+# means the tree is mergeable.
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONPATH="${PWD}/src${PYTHONPATH:+:}${PYTHONPATH:-}"
+export PYTHONPATH
+
+echo "== repro.devtools.lint src/repro =="
+python -m repro.devtools.lint src/repro
+
+if [ "${1:-}" = "--lint-only" ]; then
+    exit 0
+fi
+
+echo "== tier-1 pytest =="
+python -m pytest -x -q

@@ -13,6 +13,8 @@ import numpy as np
 
 from .._validation import check_positive, require
 
+__all__ = ["EmpiricalCDF"]
+
 
 class EmpiricalCDF:
     """Exact empirical distribution of a 1-D sample."""

@@ -18,6 +18,13 @@ from ..metrics.latency import LatencyStats
 from ..network.request import CompletionRecord
 from ..power.meter import PowerMeter
 
+__all__ = [
+    "records_to_csv",
+    "meter_to_csv",
+    "stats_to_json",
+    "collector_summary",
+]
+
 PathOrFile = Union[str, IO[str]]
 
 
@@ -58,8 +65,8 @@ def records_to_csv(
                     r.type_name,
                     r.traffic_class.value,
                     r.outcome.value,
-                    f"{r.arrival_time:.6f}",
-                    f"{r.finish_time:.6f}",
+                    f"{r.arrival_time_s:.6f}",
+                    f"{r.finish_time_s:.6f}",
                     f"{r.response_time * 1e3:.3f}" if r.completed else "",
                     r.server_id if r.server_id is not None else "",
                 ]
@@ -83,7 +90,7 @@ def meter_to_csv(meter: PowerMeter, target: PathOrFile) -> int:
         for s in meter.samples:
             writer.writerow(
                 [
-                    f"{s.time:.3f}",
+                    f"{s.time_s:.3f}",
                     f"{s.power_w:.3f}",
                     f"{s.mean_level:.3f}",
                     "" if s.battery_soc is None else f"{s.battery_soc:.4f}",

@@ -16,6 +16,7 @@ classifying the outcome into four zones:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -26,6 +27,12 @@ from ..power.budget import BudgetLevel
 from ..sim.config import SimulationConfig
 from ..sim.simulation import DataCenterSimulation
 from ..workloads.catalog import RequestType
+
+__all__ = [
+    "RegionCell",
+    "RegionResult",
+    "DopeRegionAnalyzer",
+]
 
 
 @dataclass(frozen=True)
@@ -61,7 +68,9 @@ class RegionResult:
     def zone_of(self, type_name: str, rate_rps: float) -> str:
         """Zone of the cell at (type, rate)."""
         for cell in self.cells:
-            if cell.type_name == type_name and cell.rate_rps == rate_rps:
+            if cell.type_name == type_name and math.isclose(
+                cell.rate_rps, rate_rps, rel_tol=1e-9, abs_tol=0.0
+            ):
                 return cell.zone
         raise KeyError(f"no cell for ({type_name!r}, {rate_rps})")
 

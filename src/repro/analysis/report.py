@@ -9,6 +9,11 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence, Union
 
+__all__ = [
+    "format_table",
+    "print_table",
+]
+
 Cell = Union[str, float, int]
 
 

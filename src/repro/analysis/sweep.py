@@ -23,6 +23,12 @@ import numpy as np
 
 from .._validation import check_fraction, check_int, require
 
+__all__ = [
+    "MetricSummary",
+    "replicate",
+    "GridSweep",
+]
+
 #: experiment(seed) -> {metric_name: value}
 Experiment = Callable[[int], Mapping[str, float]]
 

@@ -33,6 +33,14 @@ from .workloads import (
     uniform_mix,
 )
 
+__all__ = [
+    "build_parser",
+    "cmd_region",
+    "cmd_compare",
+    "cmd_attack",
+    "main",
+]
+
 SCHEMES = {
     "capping": CappingScheme,
     "shaving": ShavingScheme,
@@ -212,7 +220,7 @@ def cmd_attack(args: argparse.Namespace) -> int:
             ["t", "rate rps", "per-agent", "detected", "effective", "state"],
             [
                 (
-                    a.time,
+                    a.time_s,
                     a.rate_rps,
                     a.rate_rps / a.num_agents,
                     a.detected,

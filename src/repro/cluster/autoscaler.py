@@ -29,12 +29,18 @@ from ..sim.events import PRIORITY_MONITOR
 from .rack import Rack
 from .server import Server
 
+__all__ = [
+    "ScalingEvent",
+    "AutoScalerStats",
+    "AutoScaler",
+]
+
 
 @dataclass
 class ScalingEvent:
     """One recorded scaling action."""
 
-    time: float
+    time_s: float
     action: str  # "out" | "in"
     active_after: int
     mean_utilization: float

@@ -13,6 +13,8 @@ from typing import List, Sequence, Tuple
 
 from .._validation import check_int, check_sorted_unique, require
 
+__all__ = ["FrequencyLadder"]
+
 #: The paper's ladder: 1.2–2.4 GHz at 0.1 GHz intervals.
 PAPER_FREQUENCIES_GHZ: Tuple[float, ...] = tuple(
     round(1.2 + 0.1 * i, 1) for i in range(13)

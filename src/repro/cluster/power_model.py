@@ -27,6 +27,8 @@ from typing import Iterable
 from .._validation import check_fraction, check_int, check_positive
 from ..workloads.catalog import RequestType
 
+__all__ = ["ServerPowerModel"]
+
 
 class ServerPowerModel:
     """Analytic power model of one leaf server.

@@ -20,6 +20,8 @@ from .dvfs import FrequencyLadder
 from .power_model import ServerPowerModel
 from .server import CompletionSink, Server
 
+__all__ = ["Rack"]
+
 
 class Rack:
     """A set of identical leaf servers sharing one power feed.

@@ -28,6 +28,8 @@ from ..sim.events import Event
 from .dvfs import FrequencyLadder
 from .power_model import ServerPowerModel
 
+__all__ = ["Server"]
+
 CompletionSink = Callable[[Request, RequestOutcome, float], None]
 
 
@@ -186,11 +188,11 @@ class Server:
     def _start(self, request: Request) -> None:
         self._accrue()
         now = self.engine.now
-        request.start_service_time = now
+        request.start_service_time_s = now
         request.remaining_work = self._sample_work(request)
         speed = request.rtype.speedup(self.freq_ratio)
-        delay = request.remaining_work / speed
-        event = self.engine.schedule(delay, lambda r=request: self._finish(r))
+        delay_s = request.remaining_work / speed
+        event = self.engine.schedule(delay_s, lambda r=request: self._finish(r))
         self._active[request.request_id] = _ActiveEntry(request, event, now)
 
     def _sample_work(self, request: Request) -> float:
@@ -225,7 +227,7 @@ class Server:
             queued = self._queue.popleft()
             if (
                 self.queue_timeout_s is not None
-                and now - queued.arrival_time > self.queue_timeout_s
+                and now - queued.arrival_time_s > self.queue_timeout_s
             ):
                 self.timed_out += 1
                 if self.completion_sink is not None:
@@ -257,15 +259,15 @@ class Server:
         for entry in self._active.values():
             request = entry.request
             old_speed = request.rtype.speedup(old_ratio)
-            elapsed = now - entry.last_resume
+            elapsed_s = now - entry.last_resume
             request.remaining_work = max(
-                0.0, request.remaining_work - elapsed * old_speed
+                0.0, request.remaining_work - elapsed_s * old_speed
             )
             entry.event.cancel()
             new_speed = request.rtype.speedup(new_ratio)
-            delay = request.remaining_work / new_speed
+            delay_s = request.remaining_work / new_speed
             entry.event = self.engine.schedule(
-                delay, lambda r=request: self._finish(r)
+                delay_s, lambda r=request: self._finish(r)
             )
             entry.last_resume = now
 

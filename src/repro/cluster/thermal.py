@@ -32,6 +32,14 @@ from ..sim.events import PRIORITY_MONITOR
 from .rack import Rack
 from .server import Server
 
+__all__ = [
+    "ServerThermalModel",
+    "ThermalSample",
+    "ThermalStats",
+    "ThermalMonitor",
+    "cooling_power_w",
+]
+
 
 class ServerThermalModel:
     """First-order RC thermal model of one server.
@@ -85,7 +93,7 @@ class ServerThermalModel:
 class ThermalSample:
     """One monitoring snapshot."""
 
-    time: float
+    time_s: float
     temperatures_c: List[float]
     throttled: List[bool]
 

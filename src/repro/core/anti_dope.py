@@ -18,7 +18,7 @@ management schemes and requires minute system modification".
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from .._validation import check_fraction, check_int
 from ..cluster.server import Server
@@ -28,6 +28,8 @@ from .dpm import DPMPlanner
 from .pdf import PDFPolicy
 from .rpm import RequestAwarePowerManager
 from .suspect_list import SuspectList
+
+__all__ = ["AntiDopeScheme"]
 
 
 class AntiDopeScheme(PowerManagementScheme):
@@ -121,7 +123,7 @@ class AntiDopeScheme(PowerManagementScheme):
             slot_s=slot_s,
         )
 
-    def forwarding_policy(self, servers: Sequence[Server]):
+    def forwarding_policy(self, servers: Sequence[Server]) -> PDFPolicy:
         """PDF — the suspect-aware forwarding policy for the NLB."""
         self._require_bound()
         return self.pdf
@@ -135,7 +137,7 @@ class AntiDopeScheme(PowerManagementScheme):
     # Reporting
     # ------------------------------------------------------------------
     @property
-    def suspect_server_ids(self):
+    def suspect_server_ids(self) -> List[int]:
         """Rack ids of the isolated suspect pool."""
         self._require_bound()
         return self.pdf.suspect_server_ids

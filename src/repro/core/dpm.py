@@ -25,6 +25,11 @@ from typing import Callable
 
 from .._validation import check_fraction, check_int, check_non_negative
 
+__all__ = [
+    "ThrottlePlan",
+    "DPMPlanner",
+]
+
 #: predict(suspect_level, innocent_level) -> rack watts at that config.
 PowerPredictor = Callable[[int, int], float]
 
@@ -126,9 +131,9 @@ class DPMPlanner:
     ):
         """Highest level whose power fits; raising past *current* needs guard."""
         for level in range(self.max_level, -1, -1):
-            power = power_at(level)
+            power_w = power_at(level)
             limit = guard_w if level > current else cap_w
-            if power <= limit:
+            if power_w <= limit:
                 return level
         return None
 

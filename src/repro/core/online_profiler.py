@@ -33,6 +33,11 @@ from ..sim.engine import EventEngine
 from ..sim.events import PRIORITY_MONITOR
 from .suspect_list import SuspectList
 
+__all__ = [
+    "UrlObservation",
+    "OnlineUrlPowerProfiler",
+]
+
 
 @dataclass
 class UrlObservation:

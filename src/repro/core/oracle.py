@@ -22,6 +22,11 @@ from ..network.request import Request
 from ..power.capping import CappingScheme
 from ..workloads.catalog import TrafficClass
 
+__all__ = [
+    "GroundTruthFilter",
+    "OracleScheme",
+]
+
 
 class GroundTruthFilter:
     """NLB admission filter that drops ground-truth attack traffic."""

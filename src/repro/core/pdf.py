@@ -24,6 +24,11 @@ from ..network.load_balancer import RoundRobinPolicy
 from ..network.request import Request
 from .suspect_list import SuspectList
 
+__all__ = [
+    "split_pools",
+    "PDFPolicy",
+]
+
 
 def split_pools(
     servers: Sequence[Server], suspect_pool_size: int

@@ -26,12 +26,18 @@ from ..power.battery import Battery
 from ..power.budget import PowerBudget
 from .dpm import DPMPlanner, ThrottlePlan
 
+__all__ = [
+    "RPMDecision",
+    "RPMStats",
+    "RequestAwarePowerManager",
+]
+
 
 @dataclass
 class RPMDecision:
     """Per-slot control record (drives the Fig. 15a/18 benches)."""
 
-    time: float
+    time_s: float
     power_w: float
     deficit_w: float
     battery_w: float
@@ -123,8 +129,8 @@ class RequestAwarePowerManager:
     # ------------------------------------------------------------------
     def step(self, now: float) -> RPMDecision:
         """One control slot; returns the decision record."""
-        power = self.current_power()
-        deficit = self.budget.deficit(power)
+        power_w = self.current_power()
+        deficit = self.budget.deficit(power_w)
         self.stats.slots += 1
         if deficit > 0:
             self.stats.violations += 1
@@ -146,7 +152,7 @@ class RequestAwarePowerManager:
                 # which the new V/F settings take effect.
                 battery_w = self.battery.discharge(deficit, self.slot_s)
             elif deficit <= 0:
-                headroom = self.budget.headroom(power)
+                headroom = self.budget.headroom(power_w)
                 self.battery.charge(
                     headroom * self.recharge_headroom_fraction, self.slot_s
                 )
@@ -156,8 +162,8 @@ class RequestAwarePowerManager:
             self.stats.reconfigurations += 1
 
         decision = RPMDecision(
-            time=now,
-            power_w=power,
+            time_s=now,
+            power_w=power_w,
             deficit_w=deficit,
             battery_w=battery_w,
             plan=plan,

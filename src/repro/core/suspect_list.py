@@ -29,6 +29,11 @@ from .._validation import check_fraction, require
 from ..cluster.power_model import ServerPowerModel
 from ..workloads.catalog import RequestType
 
+__all__ = [
+    "UrlPowerProfile",
+    "SuspectList",
+]
+
 
 @dataclass(frozen=True)
 class UrlPowerProfile:
@@ -112,12 +117,12 @@ class SuspectList:
         threshold_w = nameplate_w * threshold_fraction
         profiles = {}
         for url, powers in by_url.items():
-            mean_power = float(np.mean(powers))
+            mean_power_w = float(np.mean(powers))
             profiles[url] = UrlPowerProfile(
                 url=url,
-                full_load_power_w=mean_power,
+                full_load_power_w=mean_power_w,
                 energy_per_request_j=float("nan"),
-                suspect=mean_power >= threshold_w,
+                suspect=mean_power_w >= threshold_w,
             )
         return cls(profiles, threshold_w)
 

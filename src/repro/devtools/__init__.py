@@ -1,0 +1,49 @@
+"""repro.devtools — self-contained static analysis for the simulator.
+
+A stdlib-:mod:`ast` rule engine plus domain rules (REP001–REP008) that
+mechanically enforce the invariants the paper reproduction depends on:
+seeded determinism, unit-suffix discipline on power/time/frequency
+quantities, float-comparison hygiene, the declared architecture DAG,
+validation coverage and export consistency.
+
+Run it as ``python -m repro.devtools.lint src/repro``; the tier-1 test
+``tests/test_static_analysis.py`` gates every PR on a zero-finding
+tree.  Nothing inside :mod:`repro` proper may import this package (the
+layering DAG itself forbids it) — it is a development tool, not a
+runtime dependency.
+"""
+
+from . import rules as _rules  # noqa: F401  (importing registers the rules)
+from .engine import (
+    Finding,
+    ModuleInfo,
+    Rule,
+    build_rules,
+    lint_module,
+    lint_paths,
+    lint_source,
+    load_module,
+    register,
+    registered_rules,
+    render_json,
+    render_text,
+)
+from .layering import ALLOWED_IMPORTS, node_for, validate_layering
+
+__all__ = [
+    "Finding",
+    "ModuleInfo",
+    "Rule",
+    "register",
+    "registered_rules",
+    "build_rules",
+    "load_module",
+    "lint_module",
+    "lint_source",
+    "lint_paths",
+    "render_text",
+    "render_json",
+    "ALLOWED_IMPORTS",
+    "node_for",
+    "validate_layering",
+]

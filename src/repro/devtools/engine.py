@@ -1,0 +1,298 @@
+"""Rule-engine core for the :mod:`repro.devtools` static-analysis suite.
+
+The engine is deliberately tiny and dependency-free (stdlib :mod:`ast`
+only): a *rule* is a class with a ``rule_id`` and a ``check`` method
+that yields :class:`Finding` objects for one parsed module.  Rules
+register themselves with the :func:`register` decorator; the engine
+walks a file tree, parses every ``.py`` file once, runs the requested
+rules and filters out findings suppressed with an inline
+
+::
+
+    offending_line()  # repro: ignore[REP001]
+
+comment (comma-separated rule ids, or ``[*]`` to silence every rule on
+that line).  Reporters render the surviving findings as plain text or
+JSON.  See :mod:`repro.devtools.rules` for the domain rules themselves
+and :mod:`repro.devtools.lint` for the command-line front end.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+__all__ = [
+    "Finding",
+    "ModuleInfo",
+    "Rule",
+    "register",
+    "registered_rules",
+    "build_rules",
+    "infer_module_name",
+    "load_module",
+    "lint_module",
+    "lint_source",
+    "lint_paths",
+    "iter_python_files",
+    "render_text",
+    "render_json",
+]
+
+#: Rule id reserved for files the engine cannot parse at all.
+PARSE_ERROR_RULE = "REP000"
+
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore\[([^\]]*)\]")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic produced by a rule, anchored to a source line."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """Render as a conventional ``path:line:col: RULE message`` line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module, as handed to every rule."""
+
+    path: str
+    module: Optional[str]
+    is_package: bool
+    source: str
+    tree: ast.Module
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def suppressed(self, finding: Finding) -> bool:
+        """True when an inline comment silences *finding* on its line."""
+        rules = self.suppressions.get(finding.line)
+        if rules is None:
+            return False
+        return finding.rule in rules or "*" in rules
+
+
+class Rule:
+    """Base class for all lint rules.
+
+    Subclasses set :attr:`rule_id` / :attr:`summary` and implement
+    :meth:`check`; the :meth:`finding` helper anchors a message to an
+    AST node.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        """Yield every violation of this rule found in *module*."""
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleInfo, node: Optional[ast.AST], message: str
+    ) -> Finding:
+        """Build a :class:`Finding` at *node* (or line 1 when node is None)."""
+        line = getattr(node, "lineno", 1) if node is not None else 1
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        return Finding(
+            path=module.path, line=line, col=col, rule=self.rule_id, message=message
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding *rule_cls* to the global rule registry."""
+    rule_id = rule_cls.rule_id
+    if not rule_id:
+        raise ValueError(f"{rule_cls.__name__} must set a non-empty rule_id")
+    if rule_id in _REGISTRY and _REGISTRY[rule_id] is not rule_cls:
+        raise ValueError(f"duplicate rule id {rule_id!r}")
+    _REGISTRY[rule_id] = rule_cls
+    return rule_cls
+
+
+def registered_rules() -> List[Type[Rule]]:
+    """Every registered rule class, ordered by rule id."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def build_rules(only: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Instantiate the registered rules, optionally restricted to *only*."""
+    if only is None:
+        return [cls() for cls in registered_rules()]
+    unknown = sorted(set(only) - set(_REGISTRY))
+    if unknown:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown rule id(s) {unknown}; known rules: {known}")
+    return [_REGISTRY[rule_id]() for rule_id in sorted(set(only))]
+
+
+def _scan_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rule ids silenced by ``# repro: ignore[...]``."""
+    table: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = {token.strip() for token in match.group(1).split(",")}
+        rules.discard("")
+        if rules:
+            table[lineno] = rules
+    return table
+
+
+def infer_module_name(path: str) -> Tuple[Optional[str], bool]:
+    """Infer ``(dotted module name, is_package)`` from a file path.
+
+    The dotted name is rooted at the innermost directory named ``repro``
+    so that both ``src/repro/sim/engine.py`` (checkout layout) and an
+    installed ``.../site-packages/repro/sim/engine.py`` resolve to
+    ``repro.sim.engine``.  Files outside a ``repro`` tree get ``None``
+    (module-identity rules such as layering are skipped for them).
+    """
+    parts = Path(path).parts
+    stem = Path(path).stem
+    is_package = stem == "__init__"
+    dir_parts = list(parts[:-1])
+    if "repro" not in dir_parts:
+        return None, is_package
+    idx = len(dir_parts) - 1 - dir_parts[::-1].index("repro")
+    mod_parts = dir_parts[idx:]
+    if not is_package:
+        mod_parts = mod_parts + [stem]
+    return ".".join(mod_parts), is_package
+
+
+def load_module(path: str, module: Optional[str] = None) -> ModuleInfo:
+    """Read and parse one file into a :class:`ModuleInfo`.
+
+    Raises :class:`SyntaxError` when the file does not parse; callers
+    that want a diagnostic instead use :func:`lint_paths`.
+    """
+    source = Path(path).read_text(encoding="utf-8")
+    inferred, is_package = infer_module_name(path)
+    return ModuleInfo(
+        path=str(path),
+        module=module if module is not None else inferred,
+        is_package=is_package,
+        source=source,
+        tree=ast.parse(source, filename=str(path)),
+        suppressions=_scan_suppressions(source),
+    )
+
+
+def lint_module(
+    module: ModuleInfo, rules: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Run the (selected) rules over one parsed module."""
+    findings: List[Finding] = []
+    for rule in build_rules(rules):
+        for finding in rule.check(module):
+            if not module.suppressed(finding):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def lint_source(
+    source: str,
+    *,
+    path: str = "<string>",
+    module: Optional[str] = None,
+    is_package: bool = False,
+    rules: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint a source string directly (the unit-test entry point).
+
+    *module* supplies the dotted module identity used by module-aware
+    rules (layering), letting tests lint snippets "as if" they lived at
+    an arbitrary spot in the package.
+    """
+    info = ModuleInfo(
+        path=path,
+        module=module,
+        is_package=is_package,
+        source=source,
+        tree=ast.parse(source, filename=path),
+        suppressions=_scan_suppressions(source),
+    )
+    return lint_module(info, rules)
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    out: List[str] = []
+    seen: Set[str] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates = sorted(p.rglob("*.py"))
+        else:
+            candidates = [p]
+        for candidate in candidates:
+            key = str(candidate)
+            if key not in seen:
+                seen.add(key)
+                out.append(key)
+    return out
+
+
+def lint_paths(
+    paths: Sequence[str], rules: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Lint every ``.py`` file under *paths*; unparseable files become
+    :data:`PARSE_ERROR_RULE` findings rather than exceptions."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            info = load_module(path)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule=PARSE_ERROR_RULE,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        findings.extend(lint_module(info, rules))
+    return sorted(findings)
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Plain-text report: one ``path:line:col: RULE message`` per line."""
+    lines = [finding.format() for finding in findings]
+    lines.append(f"{len(findings)} finding(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """JSON report: ``{"count": N, "findings": [...]}``."""
+    payload = {
+        "count": len(findings),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

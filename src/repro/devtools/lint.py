@@ -1,0 +1,91 @@
+"""Command-line front end for the :mod:`repro.devtools` linter.
+
+Usage::
+
+    python -m repro.devtools.lint src/repro            # text report
+    python -m repro.devtools.lint src/repro --format json
+    python -m repro.devtools.lint src/repro --rules REP001,REP004
+    python -m repro.devtools.lint --list-rules
+
+Exit status: 0 when no findings, 1 when any finding survives
+suppression, 2 on usage errors.  ``scripts/check.sh`` runs this ahead
+of the tier-1 test suite, and ``tests/test_static_analysis.py``
+enforces a zero-finding tree as a tier-1 gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import rules as _rules  # noqa: F401  (importing registers the rules)
+from .engine import lint_paths, registered_rules, render_json, render_text
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="Domain-aware static analysis for the repro package "
+        "(determinism, unit discipline, layering, exports).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (e.g. src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule_cls in registered_rules():
+            print(f"{rule_cls.rule_id}  {rule_cls.summary}")
+        return 0
+
+    if not options.paths:
+        parser.error("at least one path is required (e.g. src/repro)")
+
+    selected = None
+    if options.rules is not None:
+        selected = [token.strip() for token in options.rules.split(",") if token.strip()]
+
+    try:
+        findings = lint_paths(options.paths, rules=selected)
+    except ValueError as exc:  # unknown rule id
+        parser.error(str(exc))
+    except OSError as exc:  # unreadable / nonexistent path
+        parser.error(f"cannot read {exc.filename or 'path'}: {exc.strerror}")
+
+    if options.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

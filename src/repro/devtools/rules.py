@@ -1,0 +1,771 @@
+"""Domain lint rules REP001–REP008 for the :mod:`repro` package.
+
+Each rule encodes one invariant the simulator's headline numbers depend
+on — determinism, unit discipline, layering, validation coverage — as a
+mechanical AST check.  See the "Static analysis & invariants" section of
+``DESIGN.md`` for the rationale behind every rule and the recipe for
+adding a new one.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from .engine import Finding, ModuleInfo, Rule, register
+from .layering import allowed_imports, node_for
+
+__all__ = [
+    "DeterminismRule",
+    "FloatEqualityRule",
+    "UnitSuffixRule",
+    "LayeringRule",
+    "MutableDefaultRule",
+    "ValidationCoverageRule",
+    "AllExportsRule",
+    "ReturnAnnotationRule",
+    "UNIT_SUFFIXES",
+]
+
+AnyFunctionDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Recognised measurement suffixes for power / energy / time / frequency
+#: / rate quantities.  REP002 treats identifiers carrying one of these as
+#: float quantities; REP003 demands one on identifiers named after a
+#: bare quantity stem.
+UNIT_SUFFIXES: Tuple[str, ...] = (
+    "_w",
+    "_kw",
+    "_mw",
+    "_wh",
+    "_kwh",
+    "_j",
+    "_kj",
+    "_s",
+    "_ms",
+    "_us",
+    "_ns",
+    "_hz",
+    "_khz",
+    "_mhz",
+    "_ghz",
+    "_rps",
+)
+
+
+def _has_unit_suffix(name: str) -> bool:
+    lowered = name.lower()
+    return any(lowered.endswith(suffix) for suffix in UNIT_SUFFIXES)
+
+
+def _attr_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` -> ``("a", "b", "c")``; None for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """The rightmost identifier of a Name/Attribute expression."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+# ---------------------------------------------------------------------------
+# REP001 — determinism
+# ---------------------------------------------------------------------------
+
+_NP_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+_WALLCLOCK_TIME_FUNCS = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns"}
+)
+_WALLCLOCK_DATETIME = frozenset({"now", "utcnow", "today"})
+
+
+@register
+class DeterminismRule(Rule):
+    """REP001: all randomness flows from seeded generators; no wall clocks.
+
+    Forbids the stdlib :mod:`random` module, the legacy ``np.random.*``
+    global functions (the seeded new-style constructors such as
+    ``np.random.default_rng`` / ``np.random.SeedSequence`` are allowed),
+    and wall-clock reads (``time.time()``, ``datetime.now()``, …) —
+    simulation code must take its randomness from an injected
+    ``np.random.Generator`` and its time from the simulation clock.
+    """
+
+    rule_id = "REP001"
+    summary = "nondeterminism: unseeded randomness or wall-clock access"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        yield self.finding(
+                            module,
+                            node,
+                            "import of stdlib 'random'; inject a seeded "
+                            "np.random.Generator instead",
+                        )
+                    elif alias.name == "numpy.random":
+                        yield self.finding(
+                            module,
+                            node,
+                            "import of 'numpy.random' module; use "
+                            "np.random.default_rng(seed) generators",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.finding(
+                        module,
+                        node,
+                        "import from stdlib 'random'; inject a seeded "
+                        "np.random.Generator instead",
+                    )
+                elif node.module == "numpy.random":
+                    bad = [
+                        alias.name
+                        for alias in node.names
+                        if alias.name not in _NP_RANDOM_ALLOWED
+                    ]
+                    if bad:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"legacy numpy.random import(s) {bad}; only seeded "
+                            "generator constructors are allowed",
+                        )
+                elif node.module == "time":
+                    bad = [
+                        alias.name
+                        for alias in node.names
+                        if alias.name in _WALLCLOCK_TIME_FUNCS
+                    ]
+                    if bad:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"wall-clock import(s) {bad} from 'time'; use the "
+                            "simulation clock (engine.now)",
+                        )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+
+    def _check_call(self, module: ModuleInfo, node: ast.Call) -> Iterator[Finding]:
+        chain = _attr_chain(node.func)
+        if chain is None or len(chain) < 2:
+            return
+        if chain[0] == "random" and len(chain) == 2:
+            yield self.finding(
+                module,
+                node,
+                f"call to random.{chain[1]}(); use an injected seeded "
+                "np.random.Generator",
+            )
+        elif (
+            len(chain) >= 3
+            and chain[-2] == "random"
+            and chain[-3] in ("np", "numpy")
+            and chain[-1] not in _NP_RANDOM_ALLOWED
+        ):
+            yield self.finding(
+                module,
+                node,
+                f"legacy global np.random.{chain[-1]}(); derive a generator "
+                "from the run's SeedSequence",
+            )
+        elif chain[0] == "time" and len(chain) == 2 and chain[1] in _WALLCLOCK_TIME_FUNCS:
+            yield self.finding(
+                module,
+                node,
+                f"wall-clock time.{chain[1]}(); use the simulation clock "
+                "(engine.now)",
+            )
+        elif chain[-1] in _WALLCLOCK_DATETIME and any(
+            part in ("datetime", "date") for part in chain[:-1]
+        ):
+            dotted = ".".join(chain)
+            yield self.finding(
+                module,
+                node,
+                f"wall-clock {dotted}(); simulation time must come from the "
+                "simulation clock",
+            )
+
+
+# ---------------------------------------------------------------------------
+# REP002 — float equality on physical quantities
+# ---------------------------------------------------------------------------
+
+
+@register
+class FloatEqualityRule(Rule):
+    """REP002: no ``==``/``!=`` on computed power/time/frequency floats.
+
+    Flags equality comparisons where either operand is a float literal
+    or an identifier carrying a measurement suffix (``_w``, ``_s``,
+    ``_ghz``, …).  Use :func:`math.isclose` (or an explicit ordering
+    test) instead; exact float equality on computed quantities is how
+    capping thresholds silently stop firing.
+    """
+
+    rule_id = "REP002"
+    summary = "float equality on measured quantity; use math.isclose"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                pair = (operands[index], operands[index + 1])
+                culprit = self._float_operand(pair)
+                if culprit is not None:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"float equality involving {culprit!r}; use "
+                        "math.isclose (or an ordering comparison)",
+                    )
+
+    @staticmethod
+    def _float_operand(pair: Tuple[ast.AST, ast.AST]) -> Optional[str]:
+        for operand in pair:
+            if isinstance(operand, ast.Constant) and isinstance(operand.value, float):
+                return repr(operand.value)
+            name = _terminal_name(operand)
+            if name is not None and _has_unit_suffix(name):
+                return name
+        return None
+
+
+# ---------------------------------------------------------------------------
+# REP003 — unit-suffix discipline
+# ---------------------------------------------------------------------------
+
+_STEM_SUGGESTIONS: Dict[str, str] = {
+    "power": "_w / _kw",
+    "watts": "_w",
+    "energy": "_j / _wh / _kwh",
+    "joules": "_j",
+    "freq": "_hz / _ghz",
+    "frequency": "_hz / _ghz",
+    "time": "_s",
+    "duration": "_s",
+    "interval": "_s",
+    "timeout": "_s",
+    "delay": "_s",
+    "latency": "_s",
+    "period": "_s",
+    "elapsed": "_s",
+}
+
+
+def _bare_stem(name: str) -> Optional[str]:
+    lowered = name.lower()
+    for stem in _STEM_SUGGESTIONS:
+        if lowered == stem or lowered.endswith("_" + stem):
+            return stem
+    return None
+
+
+@register
+class UnitSuffixRule(Rule):
+    """REP003: quantity-named identifiers must carry a unit suffix.
+
+    A variable, attribute, field or parameter whose name *ends* in a
+    bare quantity stem (``power``, ``time``, ``delay``, ``frequency``,
+    …) is ambiguous about its unit — the exact bug class behind wrong
+    W-vs-kW capping thresholds and ms-vs-s slot arithmetic.  Such names
+    must end in a measurement suffix instead (``peak_power_w``,
+    ``arrival_time_s``, ``cap_freq_ghz``).
+    """
+
+    rule_id = "REP003"
+    summary = "quantity identifier without unit suffix"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    yield from self._check_target(module, target)
+            elif isinstance(node, ast.AnnAssign):
+                yield from self._check_target(module, node.target)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for arg in args.posonlyargs + args.args + args.kwonlyargs:
+                    yield from self._check_name(module, arg, arg.arg)
+
+    def _check_target(self, module: ModuleInfo, target: ast.AST) -> Iterator[Finding]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from self._check_target(module, element)
+        elif isinstance(target, ast.Name):
+            yield from self._check_name(module, target, target.id)
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            yield from self._check_name(module, target, target.attr)
+
+    def _check_name(
+        self, module: ModuleInfo, node: ast.AST, name: str
+    ) -> Iterator[Finding]:
+        stem = _bare_stem(name)
+        if stem is not None:
+            hint = _STEM_SUGGESTIONS[stem]
+            yield self.finding(
+                module,
+                node,
+                f"identifier {name!r} names a quantity without a unit; "
+                f"suffix it (e.g. {hint})",
+            )
+
+
+# ---------------------------------------------------------------------------
+# REP004 — architecture layering
+# ---------------------------------------------------------------------------
+
+
+def _is_type_checking_test(test: ast.AST) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _iter_runtime_imports(
+    nodes: Sequence[ast.AST],
+) -> Iterator[Union[ast.Import, ast.ImportFrom]]:
+    for node in nodes:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            yield node
+        elif isinstance(node, ast.If) and _is_type_checking_test(node.test):
+            yield from _iter_runtime_imports(node.orelse)
+        else:
+            yield from _iter_runtime_imports(list(ast.iter_child_nodes(node)))
+
+
+@register
+class LayeringRule(Rule):
+    """REP004: runtime imports must follow the declared architecture DAG.
+
+    Every module maps to a layering node (see
+    :mod:`repro.devtools.layering`); a runtime import of another node is
+    legal only when the declared DAG allows it — e.g. ``cluster`` may
+    import the DES kernel (``sim.kernel``) but never the orchestration
+    layer (``sim``).  ``if TYPE_CHECKING:`` imports are exempt.
+    """
+
+    rule_id = "REP004"
+    summary = "import violates the declared architecture layering"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.module is None:
+            return
+        importer = node_for(module.module)
+        if importer is None:
+            return
+        allowed = allowed_imports(importer)
+        if allowed is None:  # root layer: unconstrained
+            return
+        for stmt in _iter_runtime_imports(module.tree.body):
+            seen: Set[str] = set()
+            for target in self._import_targets(module, stmt):
+                target_node = node_for(target)
+                if (
+                    target_node is None
+                    or target_node == importer
+                    or target_node in allowed
+                    or target_node in seen
+                ):
+                    continue
+                seen.add(target_node)
+                yield self.finding(
+                    module,
+                    stmt,
+                    f"layer {importer!r} may not import {target_node!r} "
+                    f"(via {target}); allowed: {sorted(allowed)}",
+                )
+
+    @staticmethod
+    def _import_targets(
+        module: ModuleInfo, stmt: Union[ast.Import, ast.ImportFrom]
+    ) -> Iterator[str]:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                if alias.name == "repro" or alias.name.startswith("repro."):
+                    yield alias.name
+            return
+        if stmt.level == 0:
+            base = stmt.module or ""
+            if base != "repro" and not base.startswith("repro."):
+                return
+        else:
+            assert module.module is not None
+            parts = module.module.split(".")
+            package = parts if module.is_package else parts[:-1]
+            if stmt.level - 1 > 0:
+                package = package[: len(package) - (stmt.level - 1)]
+            if not package:
+                return
+            base = ".".join(package + ([stmt.module] if stmt.module else []))
+        for alias in stmt.names:
+            if alias.name == "*":
+                yield base
+            else:
+                yield f"{base}.{alias.name}"
+
+
+# ---------------------------------------------------------------------------
+# REP005 — shared mutable state
+# ---------------------------------------------------------------------------
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call) and not node.args and not node.keywords:
+        return isinstance(node.func, ast.Name) and node.func.id in (
+            "list",
+            "dict",
+            "set",
+        )
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    """REP005: no mutable default arguments or shared mutable class attrs.
+
+    A ``def f(x=[])`` default and a class-level ``cache = {}`` are both
+    one shared object across every call/instance — classic
+    state-bleeds-between-runs bugs in long simulation campaigns.  Use
+    ``None``-plus-assign or ``dataclasses.field(default_factory=...)``.
+    """
+
+    rule_id = "REP005"
+    summary = "mutable default argument / shared mutable class attribute"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                args = node.args
+                defaults = list(args.defaults) + [
+                    d for d in args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    if _is_mutable_literal(default):
+                        yield self.finding(
+                            module,
+                            default,
+                            "mutable default argument; use None and assign "
+                            "inside the function",
+                        )
+            elif isinstance(node, ast.ClassDef):
+                for stmt in node.body:
+                    value = None
+                    if isinstance(stmt, ast.Assign):
+                        value = stmt.value
+                    elif isinstance(stmt, ast.AnnAssign):
+                        value = stmt.value
+                    if value is not None and _is_mutable_literal(value):
+                        yield self.finding(
+                            module,
+                            stmt,
+                            f"class {node.name!r} shares one mutable object "
+                            "across instances; use "
+                            "field(default_factory=...) or set it in __init__",
+                        )
+
+
+# ---------------------------------------------------------------------------
+# REP006 — validation coverage of config constructors
+# ---------------------------------------------------------------------------
+
+_NUMERIC_ANNOTATION_RE = re.compile(r"\b(int|float)\b")
+
+
+def _is_numeric_annotation(annotation: Optional[ast.AST]) -> bool:
+    if annotation is None:
+        return False
+    try:
+        text = ast.unparse(annotation)
+    except Exception:  # pragma: no cover - malformed annotation
+        return False
+    return _NUMERIC_ANNOTATION_RE.search(text) is not None
+
+
+def _is_validation_call(func: ast.AST) -> bool:
+    name = _terminal_name(func)
+    return name is not None and (name.startswith("check_") or name == "require")
+
+
+@register
+class ValidationCoverageRule(Rule):
+    """REP006: numeric params of public ``*Config`` classes are validated.
+
+    Every ``int``/``float`` field (or ``__init__`` parameter) of a
+    public class named ``*Config`` must be passed to one of the
+    :mod:`repro._validation` helpers (``check_*`` / ``require``)
+    somewhere in the class — the :class:`repro.SimulationConfig`
+    ``__post_init__`` pattern.  Unvalidated knobs become silent
+    mis-simulation when a caller passes a watt value where the model
+    expects a fraction.
+    """
+
+    rule_id = "REP006"
+    summary = "numeric config parameter not routed through repro._validation"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith("Config") or node.name.startswith("_"):
+                continue
+            validated = self._validated_names(node)
+            for field_name, field_node in self._numeric_fields(node):
+                if field_name not in validated:
+                    yield self.finding(
+                        module,
+                        field_node,
+                        f"numeric parameter {field_name!r} of {node.name} is "
+                        "never passed to a repro._validation check",
+                    )
+
+    @staticmethod
+    def _numeric_fields(node: ast.ClassDef) -> List[Tuple[str, ast.AST]]:
+        fields: List[Tuple[str, ast.AST]] = []
+        for stmt in node.body:
+            if (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and not stmt.target.id.startswith("_")
+                and _is_numeric_annotation(stmt.annotation)
+            ):
+                fields.append((stmt.target.id, stmt))
+            elif (
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name == "__init__"
+            ):
+                args = stmt.args
+                for arg in args.posonlyargs + args.args + args.kwonlyargs:
+                    if arg.arg != "self" and _is_numeric_annotation(arg.annotation):
+                        fields.append((arg.arg, arg))
+        return fields
+
+    @staticmethod
+    def _validated_names(node: ast.ClassDef) -> Set[str]:
+        names: Set[str] = set()
+        for sub in ast.walk(node):
+            if not (isinstance(sub, ast.Call) and _is_validation_call(sub.func)):
+                continue
+            values = list(sub.args) + [kw.value for kw in sub.keywords]
+            for value in values:
+                if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                    names.add(value.value)
+                elif (
+                    isinstance(value, ast.Attribute)
+                    and isinstance(value.value, ast.Name)
+                    and value.value.id == "self"
+                ):
+                    names.add(value.attr)
+                elif isinstance(value, ast.Name):
+                    names.add(value.id)
+        return names
+
+
+# ---------------------------------------------------------------------------
+# REP007 — __all__ consistency
+# ---------------------------------------------------------------------------
+
+
+@register
+class AllExportsRule(Rule):
+    """REP007: every module with public defs declares a truthful ``__all__``.
+
+    Three checks: the module declares ``__all__`` when it defines public
+    functions/classes; every name listed in ``__all__`` actually exists
+    (defined, imported, or a key of a PEP 562 ``_LAZY`` table); and
+    every public top-level function/class appears in ``__all__``.
+    Private modules (leading underscore, except ``__init__``) and
+    ``__main__`` entry scripts are exempt.
+    """
+
+    rule_id = "REP007"
+    summary = "__all__ missing, stale, or incomplete"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        stem = Path(module.path).stem
+        if stem == "__main__" or (stem.startswith("_") and stem != "__init__"):
+            return
+        tree = module.tree
+        public_defs: List[Tuple[str, ast.AST]] = []
+        defined: Set[str] = set()
+        star_import = False
+        all_node: Optional[ast.Assign] = None
+        exports: List[str] = []
+
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                defined.add(stmt.name)
+                if not stmt.name.startswith("_"):
+                    public_defs.append((stmt.name, stmt))
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    defined.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        star_import = True
+                    else:
+                        defined.add(alias.asname or alias.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    for name in self._target_names(target):
+                        defined.add(name)
+                        if name == "__all__":
+                            all_node = stmt
+                if all_node is stmt:
+                    exports = self._literal_strings(stmt.value)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                defined.add(stmt.target.id)
+
+        defined |= self._lazy_names(tree)
+
+        if all_node is None:
+            if public_defs:
+                yield self.finding(
+                    module,
+                    None,
+                    f"module defines public names "
+                    f"({', '.join(sorted(n for n, _ in public_defs))}) "
+                    "but no __all__",
+                )
+            return
+        export_set = set(exports)
+        if not star_import:
+            for name in exports:
+                if name not in defined:
+                    yield self.finding(
+                        module,
+                        all_node,
+                        f"__all__ exports {name!r} which is not defined in "
+                        "the module",
+                    )
+        for name, def_node in public_defs:
+            if name not in export_set:
+                yield self.finding(
+                    module,
+                    def_node,
+                    f"public definition {name!r} is missing from __all__ "
+                    "(export it or prefix with '_')",
+                )
+
+    @staticmethod
+    def _target_names(target: ast.AST) -> Iterator[str]:
+        if isinstance(target, ast.Name):
+            yield target.id
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from AllExportsRule._target_names(element)
+
+    @staticmethod
+    def _literal_strings(value: ast.AST) -> List[str]:
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            return []
+        return [
+            element.value
+            for element in value.elts
+            if isinstance(element, ast.Constant) and isinstance(element.value, str)
+        ]
+
+    @staticmethod
+    def _lazy_names(tree: ast.Module) -> Set[str]:
+        """Names served by the PEP 562 ``_LAZY`` + ``__getattr__`` idiom."""
+        has_getattr = any(
+            isinstance(stmt, ast.FunctionDef) and stmt.name == "__getattr__"
+            for stmt in tree.body
+        )
+        if not has_getattr:
+            return set()
+        for stmt in tree.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == "_LAZY" for t in stmt.targets
+                )
+                and isinstance(stmt.value, ast.Dict)
+            ):
+                return {
+                    key.value
+                    for key in stmt.value.keys
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str)
+                }
+        return set()
+
+
+# ---------------------------------------------------------------------------
+# REP008 — return-annotation coverage
+# ---------------------------------------------------------------------------
+
+
+@register
+class ReturnAnnotationRule(Rule):
+    """REP008: public functions and methods annotate their return type.
+
+    Applies to module-level functions and class methods whose name does
+    not start with an underscore.  Nested helper functions are exempt
+    (they are implementation detail, not API).
+    """
+
+    rule_id = "REP008"
+    summary = "public function without a return-type annotation"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        yield from self._check_body(module, module.tree.body, "")
+
+    def _check_body(
+        self, module: ModuleInfo, body: Sequence[ast.stmt], prefix: str
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if stmt.name.startswith("_"):
+                    continue
+                if stmt.returns is None:
+                    qualname = f"{prefix}{stmt.name}"
+                    yield self.finding(
+                        module,
+                        stmt,
+                        f"public function {qualname!r} has no return-type "
+                        "annotation",
+                    )
+            elif isinstance(stmt, ast.ClassDef):
+                yield from self._check_body(module, stmt.body, f"{stmt.name}.")

@@ -16,6 +16,11 @@ from typing import Iterable, Optional
 from .._validation import check_positive
 from ..network.request import CompletionRecord, RequestOutcome
 
+__all__ = [
+    "AvailabilityReport",
+    "availability",
+]
+
 
 @dataclass(frozen=True)
 class AvailabilityReport:

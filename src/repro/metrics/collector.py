@@ -16,6 +16,8 @@ import numpy as np
 from ..network.request import CompletionRecord, Request, RequestOutcome
 from ..workloads.catalog import TrafficClass
 
+__all__ = ["MetricsCollector"]
+
 
 class MetricsCollector:
     """Accumulates :class:`CompletionRecord` objects for one run."""
@@ -26,13 +28,13 @@ class MetricsCollector:
     # ------------------------------------------------------------------
     # Sink interfaces
     # ------------------------------------------------------------------
-    def sink(self, request: Request, outcome: RequestOutcome, time: float) -> None:
-        """Record the terminal *outcome* of *request* at *time*.
+    def sink(self, request: Request, outcome: RequestOutcome, time_s: float) -> None:
+        """Record the terminal *outcome* of *request* at *time_s*.
 
         This single method satisfies both the server ``completion_sink``
         and the NLB ``drop_sink`` contracts.
         """
-        self.records.append(CompletionRecord(request, outcome, time))
+        self.records.append(CompletionRecord(request, outcome, time_s))
 
     # ------------------------------------------------------------------
     # Filters
@@ -61,9 +63,9 @@ class MetricsCollector:
                 continue
             if completed_only and not r.completed:
                 continue
-            if start_s is not None and r.arrival_time < start_s:
+            if start_s is not None and r.arrival_time_s < start_s:
                 continue
-            if end_s is not None and r.arrival_time >= end_s:
+            if end_s is not None and r.arrival_time_s >= end_s:
                 continue
             out.append(r)
         return out

@@ -17,6 +17,12 @@ from .._validation import check_positive
 from ..cluster.rack import Rack
 from ..power.battery import Battery
 
+__all__ = [
+    "EnergyReport",
+    "EnergyAccountant",
+    "normalized_energy",
+]
+
 
 @dataclass(frozen=True)
 class EnergyReport:
@@ -93,14 +99,14 @@ class EnergyAccountant:
 
     def report(self) -> EnergyReport:
         """Energy consumed since construction."""
-        duration = self.rack.engine.now - self._t0
-        check_positive("window duration", duration)
+        duration_s = self.rack.engine.now - self._t0
+        check_positive("window duration", duration_s)
         delivered = (self.battery.delivered_j - self._delivered0) if self.battery else 0.0
         absorbed = (
             (self.battery.absorbed_grid_j - self._absorbed0) if self.battery else 0.0
         )
         return EnergyReport(
-            duration_s=duration,
+            duration_s=duration_s,
             load_energy_j=self.rack.total_energy_joules() - self._load0,
             battery_delivered_j=delivered,
             battery_recharge_grid_j=absorbed,

@@ -16,6 +16,11 @@ import numpy as np
 
 from ..network.request import CompletionRecord
 
+__all__ = [
+    "LatencyStats",
+    "slowdown",
+]
+
 
 @dataclass(frozen=True)
 class LatencyStats:

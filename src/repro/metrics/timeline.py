@@ -19,6 +19,11 @@ from .._validation import check_positive, require
 from ..network.request import CompletionRecord
 from .latency import LatencyStats
 
+__all__ = [
+    "TimelineBucket",
+    "LatencyTimeline",
+]
+
 
 @dataclass(frozen=True)
 class TimelineBucket:
@@ -66,16 +71,16 @@ class LatencyTimeline:
         check_positive("bucket_s", bucket_s)
         recs = list(records)
         require(len(recs) > 0, "LatencyTimeline needs at least one record")
-        arrivals = [r.arrival_time for r in recs]
+        arrivals = [r.arrival_time_s for r in recs]
         lo = min(arrivals) if start_s is None else float(start_s)
         hi = max(arrivals) if end_s is None else float(end_s)
         require(hi >= lo, "end_s must be >= start_s")
         n = max(1, int(math.ceil((hi - lo) / bucket_s + 1e-12)))
         grid: List[List[CompletionRecord]] = [[] for _ in range(n)]
         for r in recs:
-            if not lo <= r.arrival_time <= hi:
+            if not lo <= r.arrival_time_s <= hi:
                 continue
-            idx = min(int((r.arrival_time - lo) / bucket_s), n - 1)
+            idx = min(int((r.arrival_time_s - lo) / bucket_s), n - 1)
             grid[idx].append(r)
 
         self.bucket_s = float(bucket_s)

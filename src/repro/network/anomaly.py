@@ -30,12 +30,18 @@ from .._validation import check_positive
 from ..sim.engine import EventEngine
 from ..sim.events import PRIORITY_MONITOR
 
+__all__ = [
+    "AnomalyAlarm",
+    "AnomalyStats",
+    "AggregateAnomalyDetector",
+]
+
 
 @dataclass
 class AnomalyAlarm:
     """One aggregate-rate alarm."""
 
-    time: float
+    time_s: float
     rate_rps: float
     zscore: float
     offenders: List[int]
@@ -136,7 +142,7 @@ class AggregateAnomalyDetector:
             if not in_warmup and z > self.z_threshold:
                 self.stats.alarms.append(
                     AnomalyAlarm(
-                        time=self._now(),
+                        time_s=self._now(),
                         rate_rps=rate,
                         zscore=z,
                         offenders=self.offenders(),

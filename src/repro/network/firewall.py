@@ -26,6 +26,12 @@ from .._validation import check_positive
 from ..sim.engine import EventEngine
 from ..sim.events import PRIORITY_MONITOR
 
+__all__ = [
+    "FirewallStats",
+    "RateLimitFirewall",
+    "NullFirewall",
+]
+
 
 @dataclass
 class FirewallStats:
@@ -35,7 +41,7 @@ class FirewallStats:
     admitted: int = 0
     rejected: int = 0
     bans: int = 0
-    first_detection_time: Optional[float] = None
+    first_detection_time_s: Optional[float] = None
     banned_history: List[tuple] = field(default_factory=list)
 
 
@@ -120,8 +126,8 @@ class RateLimitFirewall:
                 self._banned_until[source_id] = t + self.ban_duration_s
                 self.stats.bans += 1
                 self.stats.banned_history.append((t, source_id))
-                if self.stats.first_detection_time is None:
-                    self.stats.first_detection_time = t
+                if self.stats.first_detection_time_s is None:
+                    self.stats.first_detection_time_s = t
         self._window_counts.clear()
 
     # ------------------------------------------------------------------

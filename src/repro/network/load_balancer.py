@@ -21,6 +21,15 @@ from .._validation import require
 from .firewall import RateLimitFirewall
 from .request import Request, RequestOutcome
 
+__all__ = [
+    "ForwardingPolicy",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "RandomPolicy",
+    "AdmissionFilter",
+    "NetworkLoadBalancer",
+]
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..cluster.server import Server
 

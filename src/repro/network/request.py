@@ -16,6 +16,12 @@ from typing import Optional
 
 from ..workloads.catalog import RequestType, TrafficClass
 
+__all__ = [
+    "RequestOutcome",
+    "Request",
+    "CompletionRecord",
+]
+
 _request_ids = itertools.count()
 
 
@@ -42,7 +48,7 @@ class Request:
         on.
     traffic_class:
         Whether a legitimate user or an attacker generated the request.
-    arrival_time:
+    arrival_time_s:
         Simulation time at which the request hit the data-center ingress.
     """
 
@@ -51,8 +57,8 @@ class Request:
         "rtype",
         "source_id",
         "traffic_class",
-        "arrival_time",
-        "start_service_time",
+        "arrival_time_s",
+        "start_service_time_s",
         "remaining_work",
         "server_id",
         "on_terminal",
@@ -63,15 +69,21 @@ class Request:
         rtype: RequestType,
         source_id: int,
         traffic_class: TrafficClass,
-        arrival_time: float,
+        arrival_time_s: float,
+        request_id: Optional[int] = None,
     ) -> None:
-        self.request_id = next(_request_ids)
+        # Generators pass an engine-scoped serial so that same-seed runs
+        # number requests identically; the process-global fallback only
+        # serves ad-hoc construction (unit tests, examples).
+        self.request_id = (
+            request_id if request_id is not None else next(_request_ids)
+        )
         self.rtype = rtype
         self.source_id = source_id
         self.traffic_class = traffic_class
-        self.arrival_time = arrival_time
+        self.arrival_time_s = arrival_time_s
         # Set when a worker picks the request up:
-        self.start_service_time: Optional[float] = None
+        self.start_service_time_s: Optional[float] = None
         # Work is expressed in "seconds of service at f_max"; the server
         # drains it at its current speedup so DVFS changes mid-service
         # stretch the in-flight requests correctly.
@@ -90,7 +102,7 @@ class Request:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Request(#{self.request_id}, {self.rtype.name}, "
-            f"{self.traffic_class.value}, t={self.arrival_time:.3f})"
+            f"{self.traffic_class.value}, t={self.arrival_time_s:.3f})"
         )
 
 
@@ -102,8 +114,8 @@ class CompletionRecord:
         "type_name",
         "traffic_class",
         "outcome",
-        "arrival_time",
-        "finish_time",
+        "arrival_time_s",
+        "finish_time_s",
         "server_id",
     )
 
@@ -111,20 +123,20 @@ class CompletionRecord:
         self,
         request: Request,
         outcome: RequestOutcome,
-        finish_time: float,
+        finish_time_s: float,
     ) -> None:
         self.request_id = request.request_id
         self.type_name = request.rtype.name
         self.traffic_class = request.traffic_class
         self.outcome = outcome
-        self.arrival_time = request.arrival_time
-        self.finish_time = finish_time
+        self.arrival_time_s = request.arrival_time_s
+        self.finish_time_s = finish_time_s
         self.server_id = request.server_id
 
     @property
     def response_time(self) -> float:
         """End-to-end sojourn time (seconds); meaningful when completed."""
-        return self.finish_time - self.arrival_time
+        return self.finish_time_s - self.arrival_time_s
 
     @property
     def completed(self) -> bool:

@@ -15,6 +15,11 @@ from typing import Dict, Iterator, List
 from .._validation import check_int, require
 from ..workloads.catalog import TrafficClass
 
+__all__ = [
+    "SourcePool",
+    "SourceRegistry",
+]
+
 
 class SourcePool:
     """A block of source identities belonging to one population.

@@ -14,6 +14,8 @@ from typing import List, Tuple
 
 from .._validation import check_fraction, check_non_negative, check_positive
 
+__all__ = ["Battery"]
+
 
 class Battery:
     """Rack UPS energy store.

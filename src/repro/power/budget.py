@@ -24,6 +24,11 @@ from typing import Dict, Iterable
 
 from .._validation import check_positive
 
+__all__ = [
+    "BudgetLevel",
+    "PowerBudget",
+]
+
 
 class BudgetLevel(enum.Enum):
     """The paper's four provisioning scenarios (Section 3.3)."""

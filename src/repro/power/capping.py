@@ -11,6 +11,11 @@ from __future__ import annotations
 
 from .manager import PowerManagementScheme, UniformCappingMixin
 
+__all__ = [
+    "CappingScheme",
+    "LocalCappingScheme",
+]
+
 
 class CappingScheme(UniformCappingMixin, PowerManagementScheme):
     """Performance-scaling-only power capping.
@@ -75,9 +80,9 @@ class LocalCappingScheme(PowerManagementScheme):
             for level in range(ladder.max_level, -1, -1):
                 ratio = ladder.ratio(level)
                 types = (e.request.rtype for e in server._active.values())
-                power = server.power_model.power(types, ratio)
+                power_w = server.power_model.power(types, ratio)
                 limit = guard if level > server.level else share
-                if power <= limit:
+                if power_w <= limit:
                     target = level
                     break
             server.set_level(target)

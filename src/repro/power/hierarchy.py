@@ -23,6 +23,11 @@ from typing import Dict, List, Sequence
 
 from .._validation import check_fraction, check_positive, require
 
+__all__ = [
+    "RackAllocation",
+    "FacilityBudgetAllocator",
+]
+
 
 @dataclass(frozen=True)
 class RackAllocation:

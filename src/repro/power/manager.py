@@ -15,6 +15,12 @@ from typing import TYPE_CHECKING, Optional, Sequence
 from .battery import Battery
 from .budget import PowerBudget
 
+__all__ = [
+    "PowerManagementScheme",
+    "NullScheme",
+    "UniformCappingMixin",
+]
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..cluster.rack import Rack
     from ..cluster.server import Server

@@ -17,6 +17,11 @@ from .._validation import check_positive
 from ..sim.events import PRIORITY_MONITOR
 from .battery import Battery
 
+__all__ = [
+    "PowerSample",
+    "PowerMeter",
+]
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..cluster.rack import Rack
     from ..sim.engine import EventEngine
@@ -25,16 +30,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class PowerSample:
     """One metering snapshot."""
 
-    __slots__ = ("time", "power_w", "mean_level", "battery_soc")
+    __slots__ = ("time_s", "power_w", "mean_level", "battery_soc")
 
     def __init__(
         self,
-        time: float,
+        time_s: float,
         power_w: float,
         mean_level: float,
         battery_soc: Optional[float],
     ) -> None:
-        self.time = time
+        self.time_s = time_s
         self.power_w = power_w
         self.mean_level = mean_level
         self.battery_soc = battery_soc
@@ -42,7 +47,7 @@ class PowerSample:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         soc = "-" if self.battery_soc is None else f"{self.battery_soc:.2f}"
         return (
-            f"PowerSample(t={self.time:.1f}, P={self.power_w:.1f}W, soc={soc})"
+            f"PowerSample(t={self.time_s:.1f}, P={self.power_w:.1f}W, soc={soc})"
         )
 
 
@@ -94,7 +99,7 @@ class PowerMeter:
         """Take one snapshot immediately and append it to the history."""
         soc = self.battery.soc_fraction if self.battery is not None else None
         sample = PowerSample(
-            time=self.engine.now,
+            time_s=self.engine.now,
             power_w=self.rack.total_power(),
             mean_level=float(np.mean(self.rack.levels())),
             battery_soc=soc,
@@ -107,7 +112,7 @@ class PowerMeter:
     # ------------------------------------------------------------------
     def times(self) -> np.ndarray:
         """Sample timestamps (seconds)."""
-        return np.array([s.time for s in self.samples])
+        return np.array([s.time_s for s in self.samples])
 
     def powers(self) -> np.ndarray:
         """Sampled rack power (watts)."""
@@ -145,7 +150,7 @@ class PowerMeter:
     def window(self, start_s: float, end_s: float) -> "PowerMeter":
         """A detached meter view holding only samples in ``[start, end)``."""
         view = PowerMeter(self.engine, self.rack, self.interval_s, self.battery)
-        view.samples = [s for s in self.samples if start_s <= s.time < end_s]
+        view.samples = [s for s in self.samples if start_s <= s.time_s < end_s]
         return view
 
     def __len__(self) -> int:

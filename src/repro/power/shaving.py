@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from .manager import PowerManagementScheme, UniformCappingMixin
 
+__all__ = ["ShavingScheme"]
+
 
 class ShavingScheme(UniformCappingMixin, PowerManagementScheme):
     """UPS-first peak shaving with a DVFS fallback.
@@ -73,8 +75,8 @@ class ShavingScheme(UniformCappingMixin, PowerManagementScheme):
         """Shave with the UPS; fall back to DVFS when it is exhausted."""
         self._require_bound()
         battery = self.battery
-        power = self.current_power()
-        deficit = self.budget.deficit(power)
+        power_w = self.current_power()
+        deficit = self.budget.deficit(power_w)
         level = self.rack.ladder.max_level
         battery_w = 0.0
         if deficit > 0:
@@ -84,7 +86,7 @@ class ShavingScheme(UniformCappingMixin, PowerManagementScheme):
             # In full-carry (UPS battery) mode the whole rack load moves
             # onto the battery during the violation slot; in partial
             # mode the battery supplies only the excess over the budget.
-            demand_w = power if self.full_carry else deficit
+            demand_w = power_w if self.full_carry else deficit
             if available_w >= demand_w:
                 battery_w = battery.discharge(demand_w, self.slot_s)
                 # Peak fully shaved: make sure servers run at nominal.
@@ -97,7 +99,7 @@ class ShavingScheme(UniformCappingMixin, PowerManagementScheme):
                 battery_w = topup_w
                 level = self.apply_uniform_cap(self.budget.supply_w + topup_w)
         else:
-            headroom = self.budget.headroom(power)
+            headroom = self.budget.headroom(power_w)
             battery.charge(
                 headroom * self.recharge_headroom_fraction, self.slot_s
             )

@@ -22,6 +22,11 @@ from .._validation import check_positive
 from ..network.request import Request
 from .manager import PowerManagementScheme
 
+__all__ = [
+    "PowerTokenBucket",
+    "TokenScheme",
+]
+
 
 class PowerTokenBucket:
     """Joule-denominated token bucket (an NLB admission filter).

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from .._validation import check_finite, check_non_negative
 
+__all__ = ["SimulationClock"]
+
 
 class SimulationClock:
     """Monotonic simulation time in seconds.
@@ -33,21 +35,21 @@ class SimulationClock:
         """Current simulation time in seconds."""
         return self._now
 
-    def advance_to(self, time: float) -> None:
-        """Move the clock forward to *time*.
+    def advance_to(self, time_s: float) -> None:
+        """Move the clock forward to *time_s*.
 
         Raises
         ------
         ValueError
-            If *time* is earlier than the current time (the clock never
+            If *time_s* is earlier than the current time (the clock never
             runs backwards) or not finite.
         """
-        check_finite("time", time)
-        if time < self._now:
+        check_finite("time_s", time_s)
+        if time_s < self._now:
             raise ValueError(
-                f"clock cannot move backwards: now={self._now}, requested={time}"
+                f"clock cannot move backwards: now={self._now}, requested={time_s}"
             )
-        self._now = float(time)
+        self._now = float(time_s)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimulationClock(now={self._now:.6f})"

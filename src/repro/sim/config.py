@@ -19,6 +19,8 @@ from .._validation import (
 )
 from ..power.budget import BudgetLevel
 
+__all__ = ["SimulationConfig"]
+
 
 @dataclass(frozen=True)
 class SimulationConfig:

@@ -22,16 +22,32 @@ from .._validation import check_non_negative, check_positive
 from .clock import SimulationClock
 from .events import Event, EventQueue, PRIORITY_WORKLOAD
 
+__all__ = ["EventEngine"]
+
 
 class EventEngine:
     """Heap-based discrete event loop with a monotonic clock."""
 
-    def __init__(self, start_time: float = 0.0) -> None:
-        self.clock = SimulationClock(start_time)
+    def __init__(self, start_time_s: float = 0.0) -> None:
+        self.clock = SimulationClock(start_time_s)
         self._queue = EventQueue()
         self._running = False
         self._stopped = False
         self.dispatched = 0
+        self._serial = 0
+
+    def next_serial(self) -> int:
+        """Next id from this engine's entity counter (0, 1, 2, …).
+
+        Entities that need a unique, reproducible identity within one
+        simulated world (e.g. requests) draw from here instead of a
+        process-global counter, so that two same-seed simulations number
+        their entities identically — a prerequisite for byte-identical
+        exports.
+        """
+        serial = self._serial
+        self._serial += 1
+        return serial
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -43,43 +59,43 @@ class EventEngine:
 
     def schedule(
         self,
-        delay: float,
+        delay_s: float,
         callback: Callable[[], None],
         priority: int = PRIORITY_WORKLOAD,
     ) -> Event:
-        """Schedule *callback* to run *delay* seconds from now."""
-        check_non_negative("delay", delay)
-        return self._queue.push(self.clock.now + delay, callback, priority)
+        """Schedule *callback* to run *delay_s* seconds from now."""
+        check_non_negative("delay_s", delay_s)
+        return self._queue.push(self.clock.now + delay_s, callback, priority)
 
     def schedule_at(
         self,
-        time: float,
+        time_s: float,
         callback: Callable[[], None],
         priority: int = PRIORITY_WORKLOAD,
     ) -> Event:
-        """Schedule *callback* at the absolute simulation *time*."""
-        if time < self.clock.now:
+        """Schedule *callback* at the absolute simulation *time_s*."""
+        if time_s < self.clock.now:
             raise ValueError(
-                f"cannot schedule in the past: now={self.clock.now}, requested={time}"
+                f"cannot schedule in the past: now={self.clock.now}, requested={time_s}"
             )
-        return self._queue.push(time, callback, priority)
+        return self._queue.push(time_s, callback, priority)
 
     def every(
         self,
-        interval: float,
+        interval_s: float,
         callback: Callable[[], None],
         priority: int = PRIORITY_WORKLOAD,
-        start_delay: Optional[float] = None,
+        start_delay_s: Optional[float] = None,
     ) -> Callable[[], None]:
-        """Run *callback* every *interval* seconds until cancelled.
+        """Run *callback* every *interval_s* seconds until cancelled.
 
         Returns a zero-argument function that stops the recurrence.  The
-        first invocation happens after *start_delay* (default: one full
+        first invocation happens after *start_delay_s* (default: one full
         interval).
         """
-        check_positive("interval", interval)
-        if start_delay is not None:
-            check_non_negative("start_delay", start_delay)
+        check_positive("interval_s", interval_s)
+        if start_delay_s is not None:
+            check_non_negative("start_delay_s", start_delay_s)
         state = {"event": None, "stopped": False}
 
         def tick() -> None:
@@ -88,9 +104,9 @@ class EventEngine:
                 return
             callback()
             if not state["stopped"]:
-                state["event"] = self.schedule(interval, tick, priority)
+                state["event"] = self.schedule(interval_s, tick, priority)
 
-        first = interval if start_delay is None else start_delay
+        first = interval_s if start_delay_s is None else start_delay_s
         state["event"] = self.schedule(first, tick, priority)
 
         def stop() -> None:
@@ -124,14 +140,14 @@ class EventEngine:
         self._stopped = False
         try:
             while self._queue and not self._stopped:
-                next_time = self._queue.peek_time()
-                if until is not None and next_time is not None and next_time > until:
+                next_time_s = self._queue.peek_time()
+                if until is not None and next_time_s is not None and next_time_s > until:
                     self.clock.advance_to(until)
                     break
                 event = self._queue.pop()
                 if event is None:
                     break
-                self.clock.advance_to(event.time)
+                self.clock.advance_to(event.time_s)
                 event.callback()
                 self.dispatched += 1
             else:

@@ -1,7 +1,7 @@
 """Event primitives for the discrete-event engine.
 
 An :class:`Event` is a scheduled callback.  Events are ordered by
-``(time, priority, sequence)`` so that simultaneous events dispatch in a
+``(time_s, priority, sequence)`` so that simultaneous events dispatch in a
 deterministic order: lower priority values run first, and among equal
 priorities the event scheduled first runs first.  Cancellation is done
 lazily (the heap entry stays in the queue but is skipped on pop), which
@@ -16,6 +16,11 @@ import itertools
 from typing import Callable, List, Optional
 
 from .._validation import check_finite
+
+__all__ = [
+    "Event",
+    "EventQueue",
+]
 
 # Well-known priority bands.  Control actions run after the workload
 # events of the same instant so that a power reading taken "at" t sees
@@ -32,16 +37,16 @@ class Event:
     user code normally only keeps them around to :meth:`cancel` them.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "cancelled")
+    __slots__ = ("time_s", "priority", "seq", "callback", "cancelled")
 
     def __init__(
         self,
-        time: float,
+        time_s: float,
         priority: int,
         seq: int,
         callback: Callable[[], None],
     ) -> None:
-        self.time = time
+        self.time_s = time_s
         self.priority = priority
         self.seq = seq
         self.callback = callback
@@ -52,15 +57,15 @@ class Event:
         self.cancelled = True
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.priority, self.seq) < (
-            other.time,
+        return (self.time_s, self.priority, self.seq) < (
+            other.time_s,
             other.priority,
             other.seq,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
-        return f"Event(t={self.time:.6f}, prio={self.priority}, {state})"
+        return f"Event(t={self.time_s:.6f}, prio={self.priority}, {state})"
 
 
 class EventQueue:
@@ -73,13 +78,13 @@ class EventQueue:
 
     def push(
         self,
-        time: float,
+        time_s: float,
         callback: Callable[[], None],
         priority: int = PRIORITY_WORKLOAD,
     ) -> Event:
-        """Schedule *callback* at absolute *time* and return its handle."""
-        check_finite("time", time)
-        event = Event(float(time), int(priority), next(self._counter), callback)
+        """Schedule *callback* at absolute *time_s* and return its handle."""
+        check_finite("time_s", time_s)
+        event = Event(float(time_s), int(priority), next(self._counter), callback)
         heapq.heappush(self._heap, event)
         self._live += 1
         return event
@@ -101,7 +106,7 @@ class EventQueue:
         """Return the timestamp of the next live event without popping it."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        return self._heap[0].time_s if self._heap else None
 
     def cancel(self, event: Event) -> None:
         """Cancel *event* if it has not fired yet."""

@@ -29,6 +29,12 @@ from .engine import EventEngine
 from .events import PRIORITY_CONTROL
 from .simulation import DataCenterSimulation
 
+__all__ = [
+    "ReplanRecord",
+    "FacilityStats",
+    "FacilitySimulation",
+]
+
 SchemeFactory = Callable[[], PowerManagementScheme]
 
 
@@ -36,7 +42,7 @@ SchemeFactory = Callable[[], PowerManagementScheme]
 class ReplanRecord:
     """One facility re-plan decision."""
 
-    time: float
+    time_s: float
     demands_w: List[float]
     allocations: List[RackAllocation]
 

@@ -47,6 +47,8 @@ from ..workloads.normal import make_normal_traffic
 from ..workloads.attacks import make_flood
 from .config import SimulationConfig
 
+__all__ = ["DataCenterSimulation"]
+
 
 class DataCenterSimulation:
     """One simulated power-constrained data center.
@@ -152,7 +154,7 @@ class DataCenterSimulation:
         mix: Optional[RequestMix] = None,
         trace: Optional[ClusterTrace] = None,
         trace_peak_rate_rps: Optional[float] = None,
-        start_delay: float = 0.0,
+        start_delay_s: float = 0.0,
         label: str = "alios",
     ) -> TrafficGenerator:
         """Attach the legitimate AliOS population and start it."""
@@ -168,7 +170,7 @@ class DataCenterSimulation:
             trace_peak_rate_rps=trace_peak_rate_rps,
             label=label,
         )
-        gen.start(start_delay)
+        gen.start(start_delay_s)
         self.generators.append(gen)
         return gen
 
@@ -183,7 +185,7 @@ class DataCenterSimulation:
         closed_loop: bool = True,
         think_s: float = 0.2,
         poisson: bool = False,
-    ):
+    ) -> TrafficGenerator:
         """Attach a flood generator, optionally windowed to [start, end)."""
         gen = make_flood(
             self.engine,
@@ -207,7 +209,7 @@ class DataCenterSimulation:
 
     def add_dope_attacker(
         self,
-        start_delay: float = 0.0,
+        start_delay_s: float = 0.0,
         label: str = "dope",
         **kwargs,
     ) -> DopeAttacker:
@@ -221,7 +223,7 @@ class DataCenterSimulation:
             label=label,
             **kwargs,
         )
-        attacker.start(start_delay)
+        attacker.start(start_delay_s)
         self.attackers.append(attacker)
         return attacker
 

@@ -28,6 +28,14 @@ import numpy as np
 
 from .._validation import check_fraction, check_int, check_positive, require
 
+__all__ = [
+    "TraceSummary",
+    "ClusterTrace",
+    "SyntheticAlibabaTrace",
+    "load_machine_usage",
+    "write_machine_usage",
+]
+
 #: Columns of the v2018 ``machine_usage.csv`` file, in on-disk order.
 MACHINE_USAGE_COLUMNS = (
     "machine_id",
@@ -140,7 +148,7 @@ class ClusterTrace:
         require(peak_rate >= base_rate, "peak_rate must be >= base_rate")
         load = self.normalized_load()
         n = len(load)
-        duration = self.duration_s
+        duration_s = self.duration_s
         span = peak_rate - base_rate
 
         def rate(t: float) -> float:
@@ -148,8 +156,8 @@ class ClusterTrace:
             if t < 0:
                 raise ValueError(f"t must be >= 0, got {t}")
             if loop:
-                t = t % duration
-            elif t >= duration:
+                t = t % duration_s
+            elif t >= duration_s:
                 return base_rate
             idx = min(int(t / self.interval_s), n - 1)
             return base_rate + span * float(load[idx])

@@ -25,6 +25,14 @@ import numpy as np
 
 from .._validation import check_non_negative, check_positive
 
+__all__ = [
+    "ArrivalProcess",
+    "PoissonProcess",
+    "ConstantRateProcess",
+    "ModulatedPoissonProcess",
+    "MMPPProcess",
+]
+
 
 class ArrivalProcess:
     """Interface: produce the gap to the next arrival after time *t*."""
@@ -147,19 +155,19 @@ class MMPPProcess(ArrivalProcess):
         self,
         rate_low: float,
         rate_high: float,
-        mean_low_duration: float,
-        mean_high_duration: float,
+        mean_low_duration_s: float,
+        mean_high_duration_s: float,
     ) -> None:
         check_non_negative("rate_low", rate_low)
         check_positive("rate_high", rate_high)
-        check_positive("mean_low_duration", mean_low_duration)
-        check_positive("mean_high_duration", mean_high_duration)
+        check_positive("mean_low_duration_s", mean_low_duration_s)
+        check_positive("mean_high_duration_s", mean_high_duration_s)
         if rate_high < rate_low:
             raise ValueError("rate_high must be >= rate_low")
         self.rate_low = float(rate_low)
         self.rate_high = float(rate_high)
-        self.mean_low = float(mean_low_duration)
-        self.mean_high = float(mean_high_duration)
+        self.mean_low = float(mean_low_duration_s)
+        self.mean_high = float(mean_high_duration_s)
         self._in_burst = False
         self._state_until = 0.0
 

@@ -43,6 +43,11 @@ from .generator import (
     clients_for_rate,
 )
 
+__all__ = [
+    "make_flood",
+    "AttackScenario",
+]
+
 
 def make_flood(
     engine: EventEngine,
@@ -57,7 +62,7 @@ def make_flood(
     think_s: float = 0.2,
     poisson: bool = False,
     jitter: float = 0.05,
-):
+) -> TrafficGenerator:
     """Build one flood generator.
 
     Parameters
@@ -136,7 +141,7 @@ class AttackScenario:
         rng: np.random.Generator,
         rate_rps: Optional[float] = None,
         num_agents: int = 20,
-    ):
+    ) -> TrafficGenerator:
         """Instantiate the scenario as a flood generator.
 
         Application/presentation-layer attacks use the closed-loop tool

@@ -49,6 +49,16 @@ from .._validation import (
     require,
 )
 
+__all__ = [
+    "TrafficClass",
+    "RequestType",
+    "get_type",
+    "get_type_by_url",
+    "RequestMix",
+    "alios_mix",
+    "uniform_mix",
+]
+
 
 class TrafficClass(enum.Enum):
     """Provenance of a request — who generated it.

@@ -39,6 +39,13 @@ from ..sim.events import PRIORITY_CONTROL
 from .catalog import RequestMix, RequestType, TrafficClass, uniform_mix
 from .generator import ClosedLoopGenerator, Dispatch, clients_for_rate
 
+__all__ = [
+    "AttackerState",
+    "DopeAdjustment",
+    "DopeStats",
+    "DopeAttacker",
+]
+
 
 class AttackerState(enum.Enum):
     """Phase of the Fig. 12 loop."""
@@ -52,7 +59,7 @@ class AttackerState(enum.Enum):
 class DopeAdjustment:
     """One decision of the adaptive loop (for the Fig. 12 bench)."""
 
-    time: float
+    time_s: float
     rate_rps: float
     num_agents: int
     detected: bool
@@ -187,14 +194,14 @@ class DopeAttacker:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def start(self, delay: float = 0.0) -> None:
+    def start(self, delay_s: float = 0.0) -> None:
         """Launch the flood and the adjustment loop."""
-        self.generator.start(delay)
+        self.generator.start(delay_s)
         self._stop_loop = self.engine.every(
             self.adjust_interval_s,
             self._adjust,
             priority=PRIORITY_CONTROL,
-            start_delay=delay + self.adjust_interval_s,
+            start_delay_s=delay_s + self.adjust_interval_s,
         )
 
     def stop(self) -> None:
@@ -248,7 +255,7 @@ class DopeAttacker:
         )
         self.stats.adjustments.append(
             DopeAdjustment(
-                time=self.engine.now,
+                time_s=self.engine.now,
                 rate_rps=self.rate_rps,
                 num_agents=self.pool.size,
                 detected=detected,

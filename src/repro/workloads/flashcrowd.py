@@ -24,6 +24,11 @@ from ..sim.engine import EventEngine
 from .catalog import COLLA_FILT, K_MEANS, RequestMix, TrafficClass, WORD_COUNT
 from .generator import ClosedLoopGenerator, Dispatch, clients_for_rate
 
+__all__ = [
+    "flash_sale_mix",
+    "make_flash_crowd",
+]
+
 
 def flash_sale_mix() -> RequestMix:
     """What a flash sale hammers: recommendations and classification.

@@ -26,6 +26,12 @@ from ..sim.engine import EventEngine
 from ..trace.arrival import ArrivalProcess, ConstantRateProcess
 from .catalog import RequestMix, RequestType
 
+__all__ = [
+    "TrafficGenerator",
+    "ClosedLoopGenerator",
+    "clients_for_rate",
+]
+
 Dispatch = Callable[[Request], bool]
 
 
@@ -80,13 +86,13 @@ class TrafficGenerator:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def start(self, delay: float = 0.0) -> None:
-        """Begin generating after *delay* seconds."""
-        check_non_negative("delay", delay)
+    def start(self, delay_s: float = 0.0) -> None:
+        """Begin generating after *delay_s* seconds."""
+        check_non_negative("delay_s", delay_s)
         if self._running:
             raise RuntimeError(f"generator {self.label!r} already running")
         self._running = True
-        self._pending = self.engine.schedule(delay, self._first_arrival)
+        self._pending = self.engine.schedule(delay_s, self._first_arrival)
 
     def stop(self) -> None:
         """Stop generating; pending arrival is cancelled."""
@@ -142,7 +148,8 @@ class TrafficGenerator:
             rtype=rtype,
             source_id=source_id,
             traffic_class=self.source_pool.traffic_class,
-            arrival_time=self.engine.now,
+            arrival_time_s=self.engine.now,
+            request_id=self.engine.next_serial(),
         )
         self.generated += 1
         if self.dispatch(request):
@@ -219,20 +226,20 @@ class ClosedLoopGenerator:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def start(self, delay: float = 0.0) -> None:
-        """Spin up all clients after *delay* seconds.
+    def start(self, delay_s: float = 0.0) -> None:
+        """Spin up all clients after *delay_s* seconds.
 
         Restartable: a stopped generator may be started again; requests
         still in flight from the previous burst terminate without
         re-issuing.
         """
-        check_non_negative("delay", delay)
+        check_non_negative("delay_s", delay_s)
         if self._running:
             raise RuntimeError(f"generator {self.label!r} already running")
         self._running = True
         self._epoch += 1
         epoch = self._epoch
-        self.engine.schedule(delay, lambda: self._launch_clients(epoch))
+        self.engine.schedule(delay_s, lambda: self._launch_clients(epoch))
 
     def _launch_clients(self, epoch: int) -> None:
         if not self._running or epoch != self._epoch:
@@ -297,7 +304,8 @@ class ClosedLoopGenerator:
             rtype=rtype,
             source_id=source_id,
             traffic_class=self.source_pool.traffic_class,
-            arrival_time=self.engine.now,
+            arrival_time_s=self.engine.now,
+            request_id=self.engine.next_serial(),
         )
         request.on_terminal = lambda r, o, t: self._client_terminal(epoch)
         self.generated += 1

@@ -21,6 +21,8 @@ from ..trace.arrival import ModulatedPoissonProcess, PoissonProcess
 from .catalog import RequestMix, TrafficClass, alios_mix
 from .generator import Dispatch, TrafficGenerator
 
+__all__ = ["make_normal_traffic"]
+
 
 def make_normal_traffic(
     engine: EventEngine,

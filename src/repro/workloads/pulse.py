@@ -30,6 +30,11 @@ from ..sim.events import PRIORITY_CONTROL
 from .catalog import RequestMix, TrafficClass, uniform_mix
 from .generator import ClosedLoopGenerator, Dispatch, clients_for_rate
 
+__all__ = [
+    "PulseStats",
+    "PulseAttacker",
+]
+
 
 @dataclass
 class PulseStats:
@@ -101,12 +106,12 @@ class PulseAttacker:
         """Time-averaged rate (the figure a rate detector would see)."""
         return self.rate_rps * self.duty
 
-    def start(self, delay: float = 0.0) -> None:
-        """Begin pulsing after *delay* seconds."""
+    def start(self, delay_s: float = 0.0) -> None:
+        """Begin pulsing after *delay_s* seconds."""
         if self._running:
             raise RuntimeError("pulse attacker already running")
         self._running = True
-        self.engine.schedule(delay, self._pulse_on)
+        self.engine.schedule(delay_s, self._pulse_on)
 
     def stop(self) -> None:
         """Cease fire at the next transition."""

@@ -1,0 +1,11 @@
+"""REP001 clean fixture: seeded new-style numpy generators only."""
+
+import numpy as np
+
+
+def seeded_draw(seed: int) -> float:
+    rng = np.random.default_rng(np.random.SeedSequence(seed))
+    return float(rng.random())
+
+
+__all__ = ["seeded_draw"]

@@ -1,0 +1,28 @@
+"""REP001 fixture: unseeded randomness and wall-clock reads."""
+
+import random  # VIOLATION
+
+import numpy as np
+
+
+def roll() -> float:
+    return random.random()  # VIOLATION
+
+
+def legacy_draw() -> float:
+    return np.random.rand()  # VIOLATION
+
+
+def wall_clock_s() -> float:
+    import time
+
+    return time.time()  # VIOLATION
+
+
+def today_stamp() -> object:
+    import datetime
+
+    return datetime.datetime.now()  # VIOLATION
+
+
+__all__ = ["roll", "legacy_draw", "wall_clock_s", "today_stamp"]

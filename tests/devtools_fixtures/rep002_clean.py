@@ -1,0 +1,14 @@
+"""REP002 clean fixture: isclose and ordering comparisons."""
+
+import math
+
+
+def over_budget(power_w: float, supply_w: float) -> bool:
+    return power_w > supply_w
+
+
+def is_half(fraction: float) -> bool:
+    return math.isclose(fraction, 0.5)
+
+
+__all__ = ["over_budget", "is_half"]

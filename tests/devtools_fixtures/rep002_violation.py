@@ -1,0 +1,12 @@
+"""REP002 fixture: exact float equality on measured quantities."""
+
+
+def over_budget(power_w: float, supply_w: float) -> bool:
+    return power_w == supply_w  # VIOLATION
+
+
+def is_half(fraction: float) -> bool:
+    return fraction != 0.5  # VIOLATION
+
+
+__all__ = ["over_budget", "is_half"]

@@ -1,0 +1,15 @@
+"""REP003 clean fixture: every quantity name carries its unit."""
+
+
+class Meter:
+    def __init__(self, interval_s: float) -> None:
+        self.power_w = 0.0
+        self._poll_s = interval_s
+
+
+def wait(delay_s: float) -> float:
+    total_time_s = delay_s
+    return total_time_s
+
+
+__all__ = ["Meter", "wait"]

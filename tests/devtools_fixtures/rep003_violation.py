@@ -1,0 +1,15 @@
+"""REP003 fixture: quantity identifiers without unit suffixes."""
+
+
+class Meter:
+    def __init__(self, interval: float) -> None:  # VIOLATION
+        self.power = 0.0  # VIOLATION
+        self._poll_s = interval
+
+
+def wait(delay: float) -> float:  # VIOLATION
+    total_time = delay  # VIOLATION
+    return total_time
+
+
+__all__ = ["Meter", "wait"]

@@ -1,0 +1,18 @@
+"""REP005 clean fixture: per-call and per-instance mutable state."""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+def collect(sample: float, history: Optional[List[float]] = None) -> List[float]:
+    out = list(history or [])
+    out.append(sample)
+    return out
+
+
+@dataclass
+class Cache:
+    entries: Dict[str, float] = field(default_factory=dict)
+
+
+__all__ = ["collect", "Cache"]

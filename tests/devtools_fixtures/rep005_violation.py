@@ -1,0 +1,16 @@
+"""REP005 fixture: shared mutable defaults and class attributes."""
+
+from typing import Dict, List
+
+
+def collect(sample: float, history: List[float] = []) -> List[float]:  # VIOLATION
+    history.append(sample)
+    return history
+
+
+class Cache:
+    entries: Dict[str, float] = {}  # VIOLATION
+    labels = []  # VIOLATION
+
+
+__all__ = ["collect", "Cache"]

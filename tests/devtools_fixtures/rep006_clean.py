@@ -1,0 +1,21 @@
+"""REP006 clean fixture: every numeric knob routed through validation."""
+
+from dataclasses import dataclass
+
+from repro._validation import check_int, check_positive
+
+
+@dataclass(frozen=True)
+class MeterConfig:
+    poll_s: float = 1.0
+    window_s: float = 60.0
+    retries: int = 3
+    label: str = "meter"
+
+    def __post_init__(self) -> None:
+        check_positive("poll_s", self.poll_s)
+        check_positive("window_s", self.window_s)
+        check_int("retries", self.retries, minimum=0)
+
+
+__all__ = ["MeterConfig"]

@@ -1,0 +1,19 @@
+"""REP006 fixture: a config class with unvalidated numeric knobs."""
+
+from dataclasses import dataclass
+
+from repro._validation import check_positive
+
+
+@dataclass(frozen=True)
+class MeterConfig:
+    poll_s: float = 1.0
+    window_s: float = 60.0  # VIOLATION
+    retries: int = 3  # VIOLATION
+    label: str = "meter"
+
+    def __post_init__(self) -> None:
+        check_positive("poll_s", self.poll_s)
+
+
+__all__ = ["MeterConfig"]

@@ -1,0 +1,16 @@
+"""REP007 clean fixture: ``__all__`` names every public definition."""
+
+
+def exported() -> int:
+    return 1
+
+
+def also_public() -> int:
+    return 2
+
+
+def _helper() -> int:
+    return 3
+
+
+__all__ = ["exported", "also_public"]

@@ -1,0 +1,12 @@
+"""REP007 fixture: missing and inconsistent ``__all__``."""
+
+
+def exported() -> int:
+    return 1
+
+
+def also_public() -> int:  # VIOLATION
+    return 2
+
+
+__all__ = ["exported", "missing_name"]  # VIOLATION

@@ -1,0 +1,13 @@
+"""REP008 clean fixture: annotated returns everywhere public."""
+
+
+def annotated(x: float) -> float:
+    return x * 2.0
+
+
+class Widget:
+    def describe(self) -> str:
+        return "widget"
+
+
+__all__ = ["annotated", "Widget"]

@@ -1,0 +1,13 @@
+"""REP008 fixture: public callables missing return annotations."""
+
+
+def unannotated(x: float):  # VIOLATION
+    return x * 2.0
+
+
+class Widget:
+    def describe(self):  # VIOLATION
+        return "widget"
+
+
+__all__ = ["unannotated", "Widget"]

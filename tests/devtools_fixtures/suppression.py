@@ -1,0 +1,20 @@
+"""Suppression fixture: inline ``# repro: ignore[...]`` pragmas."""
+
+import random  # repro: ignore[REP001]
+
+
+def roll() -> float:
+    return random.random()  # repro: ignore[REP001,REP003]
+
+
+def wall_clock_s() -> float:
+    import time
+
+    return time.time()  # repro: ignore[*]
+
+
+def unsuppressed() -> float:
+    return random.random()  # VIOLATION
+
+
+__all__ = ["roll", "wall_clock_s", "unsuppressed"]

@@ -104,17 +104,17 @@ class TestModulatedPoisson:
 
 class TestMMPP:
     def test_mean_rate_formula(self):
-        proc = MMPPProcess(10.0, 100.0, mean_low_duration=9.0, mean_high_duration=1.0)
+        proc = MMPPProcess(10.0, 100.0, mean_low_duration_s=9.0, mean_high_duration_s=1.0)
         assert proc.mean_rate() == pytest.approx(19.0)
 
     def test_long_run_rate_near_mean(self, rng):
-        proc = MMPPProcess(10.0, 100.0, mean_low_duration=1.0, mean_high_duration=1.0)
+        proc = MMPPProcess(10.0, 100.0, mean_low_duration_s=1.0, mean_high_duration_s=1.0)
         measured = 1.0 / mean_gap(proc, rng, n=30000)
         assert measured == pytest.approx(proc.mean_rate(), rel=0.15)
 
     def test_burstiness_exceeds_poisson(self, rng):
         # Squared CV of inter-arrivals > 1 for an MMPP with distinct rates.
-        proc = MMPPProcess(5.0, 200.0, mean_low_duration=2.0, mean_high_duration=2.0)
+        proc = MMPPProcess(5.0, 200.0, mean_low_duration_s=2.0, mean_high_duration_s=2.0)
         t, gaps = 0.0, []
         for _ in range(20000):
             g = proc.next_interarrival(rng, t)

@@ -1,0 +1,56 @@
+"""Byte-identical reproducibility of same-seed simulation runs.
+
+The static-analysis suite (REP001) bans unseeded randomness and
+wall-clock reads precisely so that this holds: two simulations built
+from the same :class:`SimulationConfig` seed must produce *identical*
+exported artifacts, byte for byte — not merely statistically similar
+ones.  This is the regression test that backs that guarantee.
+"""
+
+import io
+
+from repro import (
+    AntiDopeScheme,
+    BudgetLevel,
+    CappingScheme,
+    DataCenterSimulation,
+    SimulationConfig,
+)
+from repro.analysis.export import meter_to_csv, records_to_csv
+from repro.workloads import COLLA_FILT, K_MEANS, uniform_mix
+
+ATTACK = uniform_mix((COLLA_FILT, K_MEANS))
+
+
+def run_and_export(seed, scheme_factory=CappingScheme, duration_s=90.0):
+    """Run one attack scenario and serialise everything observable."""
+    sim = DataCenterSimulation(
+        SimulationConfig(budget_level=BudgetLevel.LOW, seed=seed),
+        scheme=scheme_factory(),
+    )
+    sim.add_normal_traffic(rate_rps=40)
+    sim.add_flood(mix=ATTACK, rate_rps=200, num_agents=10, start_s=15)
+    sim.run(duration_s)
+
+    records = io.StringIO()
+    records_to_csv(sim.collector.records, records)
+    meter = io.StringIO()
+    meter_to_csv(sim.meter, meter)
+    return records.getvalue().encode() + b"\x00" + meter.getvalue().encode()
+
+
+def test_same_seed_runs_are_byte_identical():
+    assert run_and_export(seed=11) == run_and_export(seed=11)
+
+
+def test_same_seed_byte_identical_with_battery_scheme():
+    a = run_and_export(seed=5, scheme_factory=AntiDopeScheme)
+    b = run_and_export(seed=5, scheme_factory=AntiDopeScheme)
+    assert a == b
+
+
+def test_different_seeds_diverge():
+    # A sanity guard on the test itself: if the export ignored the
+    # stochastic state entirely, the identity checks above would be
+    # vacuous.
+    assert run_and_export(seed=11) != run_and_export(seed=12)

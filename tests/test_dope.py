@@ -58,7 +58,7 @@ class TestProbing:
         attacker.start()
         engine.run(until=16.0)
         assert len(attacker.stats.adjustments) == 3
-        times = [a.time for a in attacker.stats.adjustments]
+        times = [a.time_s for a in attacker.stats.adjustments]
         assert times == [5.0, 10.0, 15.0]
 
 

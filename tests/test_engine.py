@@ -111,7 +111,7 @@ class TestEvery:
 
     def test_start_delay_overrides_first_interval(self, engine):
         fired = []
-        engine.every(5.0, lambda: fired.append(engine.now), start_delay=1.0)
+        engine.every(5.0, lambda: fired.append(engine.now), start_delay_s=1.0)
         engine.run(until=12.0)
         assert fired == [1.0, 6.0, 11.0]
 

@@ -16,7 +16,7 @@ class TestEventQueueOrdering:
         q.push(3.0, noop)
         q.push(1.0, noop)
         q.push(2.0, noop)
-        times = [q.pop().time for _ in range(3)]
+        times = [q.pop().time_s for _ in range(3)]
         assert times == [1.0, 2.0, 3.0]
 
     def test_priority_breaks_time_ties(self):
@@ -46,7 +46,7 @@ class TestEventQueueCancellation:
         e1 = q.push(1.0, noop)
         q.push(2.0, noop)
         q.cancel(e1)
-        assert q.pop().time == 2.0
+        assert q.pop().time_s == 2.0
 
     def test_cancel_updates_length(self):
         q = EventQueue()

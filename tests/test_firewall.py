@@ -55,7 +55,7 @@ class TestAdmission:
         for _ in range(100):
             fw.admit(1)
         engine.run(until=2.0)
-        assert fw.stats.first_detection_time == pytest.approx(2.0)
+        assert fw.stats.first_detection_time_s == pytest.approx(2.0)
 
 
 class TestBanLifecycle:
@@ -87,7 +87,7 @@ class TestBanLifecycle:
         # never above 10/s in any window.  Without the per-poll reset
         # the cumulative count would cross the threshold by t=2.
         stop = engine.every(
-            1.0, lambda: [fw.admit(1) for _ in range(6)], start_delay=0.5
+            1.0, lambda: [fw.admit(1) for _ in range(6)], start_delay_s=0.5
         )
         engine.run(until=10.0)
         stop()

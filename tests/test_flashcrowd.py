@@ -44,7 +44,7 @@ class TestFlashCrowd:
             duration_s=10.0,
         )
         sim.run(40.0)
-        arrivals = [r.arrival_time for r in sim.collector.records]
+        arrivals = [r.arrival_time_s for r in sim.collector.records]
         assert min(arrivals) >= 10.0
         assert max(arrivals) <= 21.0
 

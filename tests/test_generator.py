@@ -76,7 +76,7 @@ class TestGeneration:
 class TestLifecycle:
     def test_start_delay(self, engine, rng, registry):
         gen, received = make_generator(engine, rng, registry, rate=10.0)
-        gen.start(delay=5.0)
+        gen.start(delay_s=5.0)
         engine.run(until=5.05)
         assert len(received) == 0
         engine.run(until=6.0)
@@ -93,7 +93,7 @@ class TestLifecycle:
         gen, received = make_generator(engine, rng, registry, rate=10.0)
         gen.run_window(3.0, 5.0)
         engine.run(until=10.0)
-        times = [r.arrival_time for r in received]
+        times = [r.arrival_time_s for r in received]
         assert all(3.0 <= t <= 5.0 for t in times)
         assert len(times) == pytest.approx(20, abs=2)
 
@@ -108,8 +108,8 @@ class TestLifecycle:
         gen.start()
         engine.schedule(5.0, lambda: gen.set_rate(100.0))
         engine.run(until=10.0)
-        early = sum(1 for r in received if r.arrival_time < 5.0)
-        late = sum(1 for r in received if r.arrival_time >= 5.0)
+        early = sum(1 for r in received if r.arrival_time_s < 5.0)
+        late = sum(1 for r in received if r.arrival_time_s >= 5.0)
         assert early == pytest.approx(50, abs=3)
         assert late == pytest.approx(500, abs=10)
 

@@ -231,7 +231,7 @@ class TestEventQueueProperties:
             e = q.pop()
             if e is None:
                 break
-            popped.append(e.time)
+            popped.append(e.time_s)
         assert popped == sorted(popped)
         assert len(popped) == len(times)
 

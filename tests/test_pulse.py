@@ -41,7 +41,7 @@ class TestPulsing:
         attacker.start()
         sim.run(60.0)
         arrivals = [
-            r.arrival_time
+            r.arrival_time_s
             for r in sim.collector.filtered(traffic_class=TrafficClass.ATTACK)
         ]
         # Arrivals fall inside on-windows [0,10), [20,30), [40,50)

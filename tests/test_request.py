@@ -18,10 +18,10 @@ class TestRequest:
 
     def test_initial_state(self):
         req = Request(TEXT_CONT, 3, TrafficClass.NORMAL, 2.5)
-        assert req.start_service_time is None
+        assert req.start_service_time_s is None
         assert req.server_id is None
         assert req.on_terminal is None
-        assert req.arrival_time == 2.5
+        assert req.arrival_time_s == 2.5
         assert req.source_id == 3
 
 

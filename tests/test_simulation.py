@@ -71,7 +71,7 @@ class TestRunning:
         sim.add_flood(mix=COLLA_FILT, rate_rps=100.0, start_s=5.0, end_s=8.0)
         sim.run(15.0)
         attack = sim.collector.filtered(traffic_class=TrafficClass.ATTACK)
-        times = [r.arrival_time for r in attack]
+        times = [r.arrival_time_s for r in attack]
         assert min(times) >= 5.0
         assert max(times) <= 8.5  # last in-flight completions
 

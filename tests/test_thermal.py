@@ -90,7 +90,7 @@ class TestThermalMonitor:
                 while s.busy_workers < s.num_workers:
                     load_server(s, per=1)
 
-        stop = engine.every(0.5, keep_hot, start_delay=0.0)
+        stop = engine.every(0.5, keep_hot, start_delay_s=0.0)
         engine.run(until=120.0)
         stop()
         # Full Colla-Filt load: 100 W → steady state 75 C > 60 C trip.
