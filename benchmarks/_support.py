@@ -9,6 +9,7 @@ heavy lifting shared by several figures lives here.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Optional
 
 from repro import (
@@ -21,9 +22,13 @@ from repro import (
     SimulationConfig,
     TokenScheme,
 )
+from repro.analysis import DopeRegionAnalyzer
+from repro.runner import ResultCache
 from repro.workloads import (
     COLLA_FILT,
     K_MEANS,
+    TEXT_CONT,
+    VOLUME_DOS,
     WORD_COUNT,
     TrafficClass,
     uniform_mix,
@@ -50,6 +55,40 @@ ATTACK_MIX = uniform_mix((COLLA_FILT, K_MEANS, WORD_COUNT))
 ATTACK_START = 30.0
 MEASURE_FROM = 60.0
 DURATION = 240.0
+
+#: The Fig 11 region-grid axes shared by the bench and the perf suite.
+REGION_TYPES = (COLLA_FILT, K_MEANS, WORD_COUNT, TEXT_CONT, VOLUME_DOS)
+REGION_RATES = (50.0, 150.0, 300.0, 600.0)
+
+
+def bench_workers(default: int = 1) -> int:
+    """Worker processes for runner-backed benches.
+
+    Serial by default so every bench stays byte-reproducible without
+    configuration; export ``REPRO_BENCH_WORKERS=N`` to fan sweep cells
+    out across N processes (the merged output is identical either way).
+    """
+    return int(os.environ.get("REPRO_BENCH_WORKERS", default))
+
+
+def bench_cache() -> Optional[ResultCache]:
+    """Optional on-disk result cache for runner-backed benches.
+
+    Export ``REPRO_BENCH_CACHE=/path`` to make repeat bench runs reuse
+    stored sweep cells (e.g. when iterating on assertions).
+    """
+    root = os.environ.get("REPRO_BENCH_CACHE")
+    return ResultCache(root) if root else None
+
+
+def fig11_analyzer(seed: int = 5) -> DopeRegionAnalyzer:
+    """The Fig 11 analyzer configuration (Medium-PB, 20 agents)."""
+    return DopeRegionAnalyzer(
+        config=SimulationConfig(budget_level=BudgetLevel.MEDIUM, seed=seed),
+        window_s=50.0,
+        num_agents=20,
+        background_rate_rps=20.0,
+    )
 # Attack sized at roughly the rack's nominal-frequency service capacity:
 # strong enough that power-fitting DVFS pushes the cluster into overload
 # (the paper's degradation regime) while Normal-PB stays serviceable.

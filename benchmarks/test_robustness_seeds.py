@@ -10,7 +10,7 @@ from repro import AntiDopeScheme, BudgetLevel, CappingScheme
 from repro.analysis import print_table, replicate
 from repro.workloads import TrafficClass
 
-from _support import ATTACK_MIX, run_attack_scenario
+from _support import ATTACK_MIX, bench_cache, bench_workers, run_attack_scenario
 
 SEEDS = (1, 2, 3, 4, 5)
 DURATION = 180.0
@@ -43,8 +43,18 @@ def experiment(seed: int):
 
 
 def test_robustness_seeds(benchmark):
+    # replicate() fans seeds out over REPRO_BENCH_WORKERS processes (the
+    # experiment is module-level, hence picklable); summaries are
+    # identical for any worker count.
     summaries = benchmark.pedantic(
-        lambda: replicate(experiment, seeds=SEEDS), rounds=1, iterations=1
+        lambda: replicate(
+            experiment,
+            seeds=SEEDS,
+            workers=bench_workers(),
+            cache=bench_cache(),
+        ),
+        rounds=1,
+        iterations=1,
     )
 
     print_table(

@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
-# Repo health gate: domain lint + tier-1 tests. Run from the repo root.
+# Repo health gate: domain lint, the runner test modules, a 2-worker
+# smoke sweep (exercises the process pool end to end), then the full
+# tier-1 test suite. Run from the repo root.
 #
-#   scripts/check.sh              lint src/repro, then the full test suite
+#   scripts/check.sh              lint + runner tests + smoke sweep + suite
 #   scripts/check.sh --lint-only  just the linter (fast, <2 s)
 #
 # Both checks are the same ones CI treats as tier-1; a clean exit here
@@ -18,6 +20,15 @@ python -m repro.devtools.lint src/repro
 if [ "${1:-}" = "--lint-only" ]; then
     exit 0
 fi
+
+echo "== runner test modules =="
+python -m pytest -x -q \
+    tests/test_runner_executor.py \
+    tests/test_runner_cache.py \
+    tests/test_model_properties.py
+
+echo "== 2-worker smoke sweep =="
+python -m repro sweep --types colla-filt --rates 60 --window 10 --workers 2
 
 echo "== tier-1 pytest =="
 python -m pytest -x -q

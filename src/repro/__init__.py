@@ -28,6 +28,7 @@ Quickstart::
     print(sim.latency_stats())
 """
 
+from ._version import __version__
 from .core import AntiDopeScheme, DPMPlanner, PDFPolicy, SuspectList
 from .metrics import LatencyStats, MetricsCollector
 from .power import (
@@ -41,8 +42,6 @@ from .power import (
     TokenScheme,
 )
 from .sim import DataCenterSimulation, SimulationConfig
-
-__version__ = "1.0.0"
 
 __all__ = [
     "__version__",

@@ -1,0 +1,9 @@
+"""Single source of the package version.
+
+Kept in a leaf module (no intra-package imports) so low layers — the
+result cache keys every entry by this string — can read it without
+importing the package root.  Bump it whenever a change can alter any
+simulated number; stale cache entries are invalidated by the bump.
+"""
+
+__version__ = "1.1.0"

@@ -17,13 +17,14 @@ classifying the outcome into four zones:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .._validation import check_int, check_positive, require
 from ..power.budget import BudgetLevel
+from ..runner import CellSpec, ResultCache, canonical_json, run_cells
 from ..sim.config import SimulationConfig
 from ..sim.simulation import DataCenterSimulation
 from ..workloads.catalog import RequestType
@@ -161,12 +162,70 @@ class DopeRegionAnalyzer:
         )
 
     def sweep(
-        self, types: Sequence[RequestType], rates_rps: Sequence[float]
+        self,
+        types: Sequence[RequestType],
+        rates_rps: Sequence[float],
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
     ) -> RegionResult:
-        """Probe the full grid (``len(types) × len(rates)`` cells)."""
+        """Probe the full grid (``len(types) × len(rates)`` cells).
+
+        ``workers>1`` runs probe cells in parallel processes; cell
+        order — and therefore every exported artifact — is identical to
+        the serial sweep.  ``cache`` reuses stored cells keyed on the
+        analyzer's full configuration, the cell coordinates and the
+        repro version.
+        """
         require(len(types) > 0, "need at least one type")
         require(len(rates_rps) > 0, "need at least one rate")
-        cells = [
-            self.probe(rtype, float(rate)) for rtype in types for rate in rates_rps
+        probe = _RegionProbe(self, types)
+        specs = [
+            CellSpec(
+                index=index,
+                params={"type_name": rtype.name, "rate_rps": float(rate)},
+                seed=self.config.seed,
+            )
+            for index, (rtype, rate) in enumerate(
+                (t, r) for t in types for r in rates_rps
+            )
         ]
+        outcomes = run_cells(
+            probe,
+            specs,
+            workers=workers,
+            cache=cache,
+            experiment_id=self.experiment_id(),
+        )
+        cells = []
+        for outcome in outcomes:
+            if outcome.error is not None:
+                raise outcome.error
+            assert outcome.value is not None
+            cells.append(RegionCell(**outcome.value))  # type: ignore[arg-type]
         return RegionResult(cells)
+
+    def experiment_id(self) -> str:
+        """Cache identity: the probe routine plus every analyzer knob."""
+        fingerprint = canonical_json(
+            {
+                "config": asdict(self.config),
+                "window_s": self.window_s,
+                "num_agents": self.num_agents,
+                "background_rate_rps": self.background_rate_rps,
+            }
+        )
+        return f"repro.analysis.region.DopeRegionAnalyzer.probe/{fingerprint}"
+
+
+class _RegionProbe:
+    """Picklable cell experiment: (type_name, rate) → RegionCell fields."""
+
+    def __init__(
+        self, analyzer: DopeRegionAnalyzer, types: Sequence[RequestType]
+    ) -> None:
+        self.analyzer = analyzer
+        self.by_name: Dict[str, RequestType] = {t.name: t for t in types}
+
+    def __call__(self, type_name: str, rate_rps: float) -> Mapping[str, object]:
+        cell = self.analyzer.probe(self.by_name[type_name], rate_rps)
+        return asdict(cell)

@@ -10,6 +10,13 @@ robustness benches are built from:
 * :class:`GridSweep` — run an experiment over a cartesian parameter
   grid (optionally replicated per cell) and collect results as flat
   rows ready for :func:`~repro.analysis.report.format_table`.
+
+Both execute their cells through :func:`repro.runner.run_cells`, so
+``workers=N`` fans them out across processes (results merged in
+canonical cell order — output is byte-identical to serial) and
+``cache=`` makes repeat runs near-instant.  The defaults (``workers=1``,
+no cache) preserve the original strictly-serial in-process behaviour,
+lambdas and all.
 """
 
 from __future__ import annotations
@@ -17,11 +24,12 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .._validation import check_fraction, check_int, require
+from .._validation import check_fraction, require
+from ..runner import CellSpec, ResultCache, default_experiment_id, run_cells
 
 __all__ = [
     "MetricSummary",
@@ -61,41 +69,35 @@ class MetricSummary:
 _Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
 
 
-def replicate(
-    experiment: Experiment,
-    seeds: Sequence[int],
-    confidence: float = 0.95,
-) -> Dict[str, MetricSummary]:
-    """Run *experiment* once per seed and summarise every metric.
-
-    The experiment returns a dict of scalar metrics; all runs must
-    return the same metric keys.
-    """
-    require(len(seeds) > 0, "need at least one seed")
+def _z_for(confidence: float) -> float:
     check_fraction("confidence", confidence, inclusive=False)
     z = _Z.get(round(confidence, 2))
     if z is None:
         raise ValueError(f"confidence must be one of {sorted(_Z)}")
+    return z
 
-    results: Dict[str, List[float]] = {}
-    keys: Tuple[str, ...] = ()
-    for seed in seeds:
-        out = dict(experiment(int(seed)))
-        if not keys:
-            keys = tuple(sorted(out))
-            for k in keys:
-                results[k] = []
-        elif tuple(sorted(out)) != keys:
-            raise ValueError(
-                f"seed {seed} returned metrics {sorted(out)}; expected {list(keys)}"
-            )
-        for k in keys:
-            results[k].append(float(out[k]))
 
+class _SeedCall:
+    """Adapter: ``fn(seed)`` positional → runner's keyword convention.
+
+    Picklable whenever the wrapped experiment is, so it survives the
+    trip to a worker process; in serial mode nothing is ever pickled
+    and lambda experiments keep working exactly as before.
+    """
+
+    def __init__(self, fn: Experiment) -> None:
+        self.fn = fn
+
+    def __call__(self, seed: int) -> Mapping[str, float]:
+        return self.fn(seed)
+
+
+def _summarise(
+    per_metric: Mapping[str, List[float]], n: int, z: float
+) -> Dict[str, MetricSummary]:
     summaries = {}
-    n = len(seeds)
-    for k in keys:
-        arr = np.asarray(results[k])
+    for k in per_metric:
+        arr = np.asarray(per_metric[k])
         std = float(arr.std(ddof=1)) if n > 1 else 0.0
         summaries[k] = MetricSummary(
             name=k,
@@ -105,6 +107,67 @@ def replicate(
             ci_half_width=z * std / math.sqrt(n) if n > 1 else 0.0,
         )
     return summaries
+
+
+def _collect_metrics(
+    cell_values: Sequence[Tuple[int, Mapping[str, object]]],
+) -> Dict[str, List[float]]:
+    """Seed-ordered metric columns, enforcing consistent keys per cell."""
+    results: Dict[str, List[float]] = {}
+    keys: Tuple[str, ...] = ()
+    for seed, out in cell_values:
+        if not keys:
+            keys = tuple(sorted(out))
+            for k in keys:
+                results[k] = []
+        elif tuple(sorted(out)) != keys:
+            raise ValueError(
+                f"seed {seed} returned metrics {sorted(out)}; expected {list(keys)}"
+            )
+        for k in keys:
+            results[k].append(float(out[k]))  # type: ignore[arg-type]
+    return results
+
+
+def replicate(
+    experiment: Experiment,
+    seeds: Sequence[int],
+    confidence: float = 0.95,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    experiment_id: Optional[str] = None,
+) -> Dict[str, MetricSummary]:
+    """Run *experiment* once per seed and summarise every metric.
+
+    The experiment returns a dict of scalar metrics; all runs must
+    return the same metric keys.  ``workers>1`` fans seeds out across
+    processes (the experiment must then be picklable); ``cache`` reuses
+    stored results keyed on ``(experiment_id, seed, repro version)``.
+    """
+    require(len(seeds) > 0, "need at least one seed")
+    z = _z_for(confidence)
+    if cache is not None and experiment_id is None:
+        experiment_id = default_experiment_id(experiment)
+    specs = [
+        CellSpec(index=i, params={"seed": int(seed)}, seed=int(seed))
+        for i, seed in enumerate(seeds)
+    ]
+    outcomes = run_cells(
+        _SeedCall(experiment),
+        specs,
+        workers=workers,
+        cache=cache,
+        experiment_id=experiment_id,
+    )
+    for outcome in outcomes:
+        if outcome.error is not None:
+            raise outcome.error
+    values = [
+        (spec.seed, outcome.value)
+        for spec, outcome in zip(specs, outcomes)
+        if outcome.value is not None
+    ]
+    return _summarise(_collect_metrics(values), len(seeds), z)
 
 
 class GridSweep:
@@ -135,21 +198,69 @@ class GridSweep:
         experiment: Callable[..., Mapping[str, float]],
         seeds: Sequence[int] = (0,),
         confidence: float = 0.95,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        experiment_id: Optional[str] = None,
+        on_error: str = "raise",
     ) -> List[Dict[str, object]]:
         """Run *experiment(**params, seed=s)* on every cell × seed.
 
         Returns one row per grid point: the parameters plus each
-        metric's :class:`MetricSummary`.
+        metric's :class:`MetricSummary`.  Cells fan out over
+        ``workers`` processes (grid-point × seed cells all run
+        concurrently); rows come back in grid order regardless.
+
+        ``on_error`` controls failure handling: ``"raise"`` (default)
+        raises the first cell's :class:`~repro.runner.CellError`;
+        ``"keep"`` records errors under each row's ``"errors"`` key and
+        summarises the seeds that did succeed, so one bad cell cannot
+        sink a long sweep.
         """
+        require(len(seeds) > 0, "need at least one seed")
+        require(on_error in ("raise", "keep"), f"bad on_error {on_error!r}")
+        z = _z_for(confidence)
+        if cache is not None and experiment_id is None:
+            experiment_id = default_experiment_id(experiment)
+
+        points = self.points()
+        specs = []
+        index = 0
+        for params in points:
+            for seed in seeds:
+                specs.append(
+                    CellSpec(
+                        index=index,
+                        params={**params, "seed": int(seed)},
+                        seed=int(seed),
+                    )
+                )
+                index += 1
+        outcomes = run_cells(
+            experiment,
+            specs,
+            workers=workers,
+            cache=cache,
+            experiment_id=experiment_id,
+        )
+
         rows = []
-        for params in self.points():
-            summaries = replicate(
-                lambda seed: experiment(**params, seed=seed),
-                seeds,
-                confidence=confidence,
-            )
+        n_seeds = len(seeds)
+        for p, params in enumerate(points):
+            cell_outcomes = outcomes[p * n_seeds : (p + 1) * n_seeds]
+            errors = tuple(o.error for o in cell_outcomes if o.error is not None)
+            if errors and on_error == "raise":
+                raise errors[0]
+            values = [
+                (spec.seed, outcome.value)
+                for spec, outcome in zip(
+                    specs[p * n_seeds : (p + 1) * n_seeds], cell_outcomes
+                )
+                if outcome.value is not None
+            ]
             row: Dict[str, object] = dict(params)
-            row.update(summaries)
+            row.update(_summarise(_collect_metrics(values), len(values), z))
+            if on_error == "keep":
+                row["errors"] = errors
             rows.append(row)
         return rows
 

@@ -10,8 +10,13 @@ Three operator-facing commands wrap the library's main workflows:
 ``attack``
     Launch the adaptive DOPE attacker against a victim configuration
     and print its convergence trace (paper Fig. 12).
+``sweep``
+    The Fig. 11 region grid through the experiment runner: probe cells
+    fan out over ``--workers`` processes and an optional ``--cache-dir``
+    makes repeat sweeps near-instant.
 
-All commands are deterministic per ``--seed``.
+All commands are deterministic per ``--seed``; ``sweep`` output is
+additionally byte-identical for any worker count.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from typing import List, Optional, Sequence
 from .analysis import DopeRegionAnalyzer, format_table
 from .core import AntiDopeScheme
 from .power import BudgetLevel, CappingScheme, ShavingScheme, TokenScheme
+from .runner import ResultCache
 from .sim import DataCenterSimulation, SimulationConfig
 from .workloads import (
     ALL_TYPES,
@@ -30,6 +36,7 @@ from .workloads import (
     K_MEANS,
     WORD_COUNT,
     TrafficClass,
+    get_type,
     uniform_mix,
 )
 
@@ -38,6 +45,7 @@ __all__ = [
     "cmd_region",
     "cmd_compare",
     "cmd_attack",
+    "cmd_sweep",
     "main",
 ]
 
@@ -105,6 +113,41 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--agents", type=int, default=40)
     attack.add_argument("--max-rate", type=float, default=1200.0)
     attack.add_argument("--duration", type=float, default=400.0)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="region grid through the parallel/cached experiment runner",
+    )
+    _add_common(sweep)
+    sweep.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=[50.0, 150.0, 300.0, 600.0],
+        help="attack rates to sweep",
+    )
+    sweep.add_argument("--agents", type=int, default=20)
+    sweep.add_argument(
+        "--types",
+        nargs="+",
+        default=None,
+        metavar="TYPE",
+        help="endpoint types to probe (default: the full catalog)",
+    )
+    sweep.add_argument(
+        "--window", type=float, default=50.0, help="simulated seconds per cell"
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial; output is identical either way)",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        help="on-disk result cache; repeat sweeps reuse stored cells",
+    )
 
     return parser
 
@@ -239,10 +282,55 @@ def cmd_attack(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """``repro sweep`` — the region grid via the experiment runner."""
+    types = (
+        ALL_TYPES
+        if args.types is None
+        else tuple(get_type(name) for name in args.types)
+    )
+    analyzer = DopeRegionAnalyzer(
+        config=SimulationConfig(
+            budget_level=_budget(args.budget),
+            num_servers=args.servers,
+            seed=args.seed,
+        ),
+        window_s=args.window,
+        num_agents=args.agents,
+    )
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    result = analyzer.sweep(
+        types, args.rates, workers=args.workers, cache=cache
+    )
+    print(
+        format_table(
+            ["type"] + [f"{int(r)}rps" for r in args.rates],
+            [
+                (t.name, *(result.zone_of(t.name, r) for r in args.rates))
+                for t in types
+            ],
+            title=(
+                f"DOPE region sweep ({args.budget}, {args.agents} agents, "
+                f"{len(result.cells)} cells)"
+            ),
+        )
+    )
+    dope = result.dope_cells()
+    print(f"\n{len(dope)} of {len(result.cells)} swept cells are in the DOPE region")
+    if cache is not None:
+        print(f"cache: {cache.hits} hit(s), {cache.misses} miss(es)")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    handlers = {"region": cmd_region, "compare": cmd_compare, "attack": cmd_attack}
+    handlers = {
+        "region": cmd_region,
+        "compare": cmd_compare,
+        "attack": cmd_attack,
+        "sweep": cmd_sweep,
+    }
     return handlers[args.command](args)
 
 

@@ -35,12 +35,24 @@ __all__ = [
 SIM_KERNEL_MODULES: FrozenSet[str] = frozenset({"clock", "engine", "events"})
 
 _PLAIN_PACKAGES = frozenset(
-    {"trace", "network", "cluster", "power", "metrics", "core", "analysis", "devtools"}
+    {
+        "trace",
+        "network",
+        "cluster",
+        "power",
+        "metrics",
+        "core",
+        "analysis",
+        "devtools",
+        "runner",
+    }
 )
 
 #: node -> set of nodes it may import (imports within a node are free).
 ALLOWED_IMPORTS: Dict[str, FrozenSet[str]] = {
     "validation": frozenset(),
+    "version": frozenset(),
+    "runner": frozenset({"validation", "version"}),
     "sim.kernel": frozenset({"validation"}),
     "trace": frozenset({"validation"}),
     "workloads.catalog": frozenset({"validation"}),
@@ -76,6 +88,8 @@ ALLOWED_IMPORTS: Dict[str, FrozenSet[str]] = {
     "analysis": frozenset(
         {
             "validation",
+            "version",
+            "runner",
             "sim.kernel",
             "trace",
             "workloads.catalog",
@@ -108,6 +122,8 @@ def node_for(module: str) -> Optional[str]:
     sub = parts[1]
     if sub == "_validation":
         return "validation"
+    if sub == "_version":
+        return "version"
     if sub == "sim":
         if len(parts) > 2 and parts[2] in SIM_KERNEL_MODULES:
             return "sim.kernel"

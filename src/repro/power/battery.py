@@ -124,6 +124,10 @@ class Battery:
             return 0.0
         delivered_w = min(power_w, self.max_discharge_w, self.soc_j / dt)
         self.soc_j -= delivered_w * dt
+        if self.soc_j < 0.0:
+            # Energy-limited delivery subtracts (soc/dt)*dt, which can
+            # overshoot the stored energy by one rounding ulp.
+            self.soc_j = 0.0
         self.delivered_j += delivered_w * dt
         if not self._was_discharging:
             self.discharge_cycles += 1
@@ -144,6 +148,9 @@ class Battery:
         room_w = (self.capacity_j - self.soc_j) / (dt * self.efficiency)
         accepted_w = min(power_w, self.max_charge_w, room_w)
         self.soc_j += accepted_w * dt * self.efficiency
+        if self.soc_j > self.capacity_j:
+            # Room-limited absorption can overshoot capacity by an ulp.
+            self.soc_j = self.capacity_j
         self.absorbed_grid_j += accepted_w * dt
         return accepted_w
 

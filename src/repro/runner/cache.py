@@ -1,0 +1,89 @@
+"""On-disk result cache for experiment cells.
+
+One JSON file per cell, named by its :func:`~repro.runner.hashing.cell_key`
+and sharded over 256 two-hex-digit directories.  Values are the
+JSON-serialisable mappings experiments return; floats survive the
+round-trip exactly (``json`` serialises via ``repr``), so a cache hit
+reproduces the original run byte-for-byte in every exported artifact.
+
+The cache is deliberately forgiving on the read path: a truncated,
+corrupted or concurrently-deleted entry is treated as a miss and the
+cell recomputes.  Writes are atomic (temp file + ``os.replace``) so a
+killed run never leaves a half-written entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+from .._validation import require
+
+__all__ = ["ResultCache"]
+
+_KEY_LEN = 64  # hex sha256
+
+
+class ResultCache:
+    """Content-addressed store of experiment-cell results.
+
+    Parameters
+    ----------
+    root:
+        Directory to keep entries under; created on first use.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        """Entry path for *key* (whether or not it exists)."""
+        require(
+            len(key) == _KEY_LEN and all(c in "0123456789abcdef" for c in key),
+            f"malformed cache key {key!r}",
+        )
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """Stored value for *key*, or ``None`` on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict) or payload.get("key") != key:
+            self.misses += 1
+            return None
+        value = payload.get("value")
+        if not isinstance(value, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Mapping[str, object]) -> Path:
+        """Atomically store *value* under *key*; returns the entry path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{key}.{os.getpid()}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump({"key": key, "value": dict(value)}, fh, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResultCache({str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

@@ -75,3 +75,55 @@ class TestCommands:
         main(["compare", "--schemes", "capping", "--duration", "60", "--seed", "3"])
         second = capsys.readouterr().out
         assert first == second
+
+
+SWEEP_ARGS = [
+    "sweep",
+    "--types",
+    "colla-filt",
+    "k-means",
+    "--rates",
+    "60",
+    "250",
+    "--window",
+    "20",
+    "--budget",
+    "medium",
+    "--seed",
+    "5",
+]
+
+
+class TestSweepCommand:
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.command == "sweep"
+        assert args.workers == 1
+        assert args.cache_dir is None
+        assert args.types is None
+
+    def test_sweep_command_runs(self, capsys):
+        code = main(SWEEP_ARGS)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "DOPE region sweep" in out
+        assert "colla-filt" in out and "k-means" in out
+        assert "swept cells" in out
+
+    def test_sweep_output_identical_across_worker_counts(self, capsys):
+        main(SWEEP_ARGS)
+        serial = capsys.readouterr().out
+        main(SWEEP_ARGS + ["--workers", "2"])
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_sweep_cache_hits_on_second_run(self, capsys, tmp_path):
+        cached = SWEEP_ARGS + ["--cache-dir", str(tmp_path / "cache")]
+        main(cached)
+        first = capsys.readouterr().out
+        assert "4 miss(es)" in first
+        main(cached)
+        second = capsys.readouterr().out
+        assert "4 hit(s)" in second
+        # Everything above the cache-stat line is byte-identical.
+        assert first.rsplit("cache:", 1)[0] == second.rsplit("cache:", 1)[0]

@@ -7,6 +7,7 @@ exported artifacts, byte for byte — not merely statistically similar
 ones.  This is the regression test that backs that guarantee.
 """
 
+import csv
 import io
 
 from repro import (
@@ -16,8 +17,9 @@ from repro import (
     DataCenterSimulation,
     SimulationConfig,
 )
+from repro.analysis import DopeRegionAnalyzer, GridSweep
 from repro.analysis.export import meter_to_csv, records_to_csv
-from repro.workloads import COLLA_FILT, K_MEANS, uniform_mix
+from repro.workloads import COLLA_FILT, K_MEANS, TEXT_CONT, get_type, uniform_mix
 
 ATTACK = uniform_mix((COLLA_FILT, K_MEANS))
 
@@ -54,3 +56,73 @@ def test_different_seeds_diverge():
     # stochastic state entirely, the identity checks above would be
     # vacuous.
     assert run_and_export(seed=11) != run_and_export(seed=12)
+
+
+# ----------------------------------------------------------------------
+# Parallel execution must not perturb a single byte of any export.
+# ----------------------------------------------------------------------
+
+# The Fig 11 region-grid axes, shortened (window and rate count) so the
+# equivalence check runs the grid twice inside a unit-test budget.
+REGION_TYPES = (COLLA_FILT, K_MEANS, TEXT_CONT)
+REGION_RATES = (60.0, 250.0)
+REGION_SEED = 5
+
+
+def region_probe(type_name, rate_rps, seed):
+    """One Fig 11 cell as a GridSweep experiment (picklable)."""
+    analyzer = DopeRegionAnalyzer(
+        config=SimulationConfig(budget_level=BudgetLevel.MEDIUM, seed=seed),
+        window_s=20.0,
+        num_agents=20,
+    )
+    cell = analyzer.probe(get_type(type_name), rate_rps)
+    return {
+        "peak_power_w": cell.peak_power_w,
+        "violated": float(cell.violated),
+        "detected": float(cell.detected),
+    }
+
+
+def grid_rows_to_csv_bytes(rows) -> bytes:
+    """Exported CSV of sweep rows, full-precision (repr) floats."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    for row in rows:
+        flat = []
+        for key in sorted(row):
+            value = row[key]
+            if hasattr(value, "mean"):  # MetricSummary
+                flat.extend(
+                    [key, repr(value.mean), repr(value.std), value.n]
+                )
+            else:
+                flat.extend([key, repr(value)])
+        writer.writerow(flat)
+    return buf.getvalue().encode()
+
+
+def test_grid_sweep_parallel_rows_byte_identical_to_serial():
+    """GridSweep over the Fig 11 grid: workers=4 == workers=1, byte-wise."""
+    sweep = GridSweep(
+        {
+            "type_name": [t.name for t in REGION_TYPES],
+            "rate_rps": list(REGION_RATES),
+        }
+    )
+    serial = sweep.run(region_probe, seeds=(REGION_SEED,), workers=1)
+    parallel = sweep.run(region_probe, seeds=(REGION_SEED,), workers=4)
+    assert grid_rows_to_csv_bytes(parallel) == grid_rows_to_csv_bytes(serial)
+
+
+def test_region_sweep_parallel_cells_byte_identical_to_serial():
+    """DopeRegionAnalyzer.sweep: merged parallel output == serial output."""
+    analyzer = DopeRegionAnalyzer(
+        config=SimulationConfig(budget_level=BudgetLevel.MEDIUM, seed=REGION_SEED),
+        window_s=20.0,
+        num_agents=20,
+    )
+    serial = analyzer.sweep(REGION_TYPES, REGION_RATES, workers=1)
+    parallel = analyzer.sweep(REGION_TYPES, REGION_RATES, workers=4)
+    assert repr(parallel.as_rows()) == repr(serial.as_rows())
+    assert [c.zone for c in parallel.cells] == [c.zone for c in serial.cells]

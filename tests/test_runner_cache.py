@@ -1,0 +1,185 @@
+"""Tests for the on-disk result cache and its content-hash keying.
+
+The contract: same ``(experiment id, params, seed, repro version)``
+hits; changing any one of the four misses; a truncated or corrupted
+entry falls back to recompute instead of crashing; and cached values
+round-trip floats exactly, so cached sweeps stay byte-identical.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.runner import (
+    CellSpec,
+    ResultCache,
+    canonical_json,
+    cell_key,
+    default_experiment_id,
+    run_cells,
+)
+
+
+def counting_experiment(x, seed, counter_dir):
+    """Record every real invocation so tests can observe cache hits."""
+    path = os.path.join(counter_dir, "calls.log")
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(f"{x},{seed}\n")
+    return {"value": float(x) * 10.0 + seed, "precise": 0.1 + 0.2}
+
+
+def call_count(counter_dir) -> int:
+    path = os.path.join(counter_dir, "calls.log")
+    if not os.path.exists(path):
+        return 0
+    with open(path, encoding="utf-8") as fh:
+        return len(fh.readlines())
+
+
+def specs_for(values, counter_dir, seed=0):
+    return [
+        CellSpec(
+            index=i,
+            params={"x": x, "seed": seed, "counter_dir": str(counter_dir)},
+            seed=seed,
+        )
+        for i, x in enumerate(values)
+    ]
+
+
+class TestCellKey:
+    def test_same_inputs_same_key(self):
+        a = cell_key("exp", {"a": 1, "b": 2.5}, seed=3)
+        b = cell_key("exp", {"b": 2.5, "a": 1}, seed=3)  # order-insensitive
+        assert a == b
+
+    def test_any_param_change_misses(self):
+        base = cell_key("exp", {"a": 1, "b": 2.5}, seed=3)
+        assert cell_key("exp", {"a": 2, "b": 2.5}, seed=3) != base
+        assert cell_key("exp", {"a": 1, "b": 2.500001}, seed=3) != base
+        assert cell_key("exp", {"a": 1}, seed=3) != base
+
+    def test_seed_change_misses(self):
+        assert cell_key("exp", {"a": 1}, seed=3) != cell_key(
+            "exp", {"a": 1}, seed=4
+        )
+
+    def test_experiment_change_misses(self):
+        assert cell_key("exp1", {"a": 1}, seed=3) != cell_key(
+            "exp2", {"a": 1}, seed=3
+        )
+
+    def test_repro_version_change_misses(self):
+        assert cell_key("exp", {"a": 1}, seed=3, version="1.1.0") != cell_key(
+            "exp", {"a": 1}, seed=3, version="1.2.0"
+        )
+
+    def test_unserialisable_param_rejected(self):
+        with pytest.raises(TypeError):
+            cell_key("exp", {"a": object()}, seed=0)
+
+    def test_canonical_json_handles_enums_and_tuples(self):
+        from repro.power import BudgetLevel
+
+        text = canonical_json({"level": BudgetLevel.LOW, "axes": (1, 2)})
+        assert "BudgetLevel.LOW" in text
+        assert json.loads(text)["axes"] == [1, 2]
+
+    def test_default_experiment_id_rejects_lambdas(self):
+        assert default_experiment_id(counting_experiment).endswith(
+            "counting_experiment"
+        )
+        with pytest.raises(TypeError):
+            default_experiment_id(lambda s: {"x": 1.0})
+
+
+class TestResultCache:
+    def test_same_cell_hits_without_reexecution(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        specs = specs_for([1, 2], tmp_path)
+        first = run_cells(counting_experiment, specs, cache=cache)
+        assert call_count(tmp_path) == 2
+        second = run_cells(counting_experiment, specs, cache=cache)
+        assert call_count(tmp_path) == 2  # nothing re-ran
+        assert cache.hits == 2
+        assert [o.value for o in second] == [o.value for o in first]
+        assert all(o.from_cache for o in second)
+        assert not any(o.from_cache for o in first)
+
+    def test_float_values_round_trip_exactly(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        specs = specs_for([3], tmp_path)
+        first = run_cells(counting_experiment, specs, cache=cache)
+        second = run_cells(counting_experiment, specs, cache=cache)
+        assert second[0].value["precise"] == first[0].value["precise"]
+        assert repr(second[0].value["precise"]) == repr(0.1 + 0.2)
+
+    def test_param_or_seed_change_recomputes(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_cells(counting_experiment, specs_for([1], tmp_path), cache=cache)
+        run_cells(counting_experiment, specs_for([2], tmp_path), cache=cache)
+        run_cells(
+            counting_experiment, specs_for([1], tmp_path, seed=9), cache=cache
+        )
+        assert call_count(tmp_path) == 3
+        assert cache.hits == 0
+
+    def test_experiment_id_change_recomputes(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        specs = specs_for([1], tmp_path)
+        run_cells(counting_experiment, specs, cache=cache, experiment_id="a")
+        run_cells(counting_experiment, specs, cache=cache, experiment_id="b")
+        assert call_count(tmp_path) == 2
+
+    def test_truncated_entry_recomputes(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        specs = specs_for([4], tmp_path)
+        run_cells(counting_experiment, specs, cache=cache)
+        (entry,) = list((tmp_path / "cache").glob("??/*.json"))
+        entry.write_text(entry.read_text()[:10])  # truncate mid-document
+        outcomes = run_cells(counting_experiment, specs, cache=cache)
+        assert outcomes[0].ok and not outcomes[0].from_cache
+        assert call_count(tmp_path) == 2
+        # The recompute healed the entry: next run hits again.
+        run_cells(counting_experiment, specs, cache=cache)
+        assert call_count(tmp_path) == 2
+
+    def test_corrupted_json_recomputes(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        specs = specs_for([5], tmp_path)
+        run_cells(counting_experiment, specs, cache=cache)
+        (entry,) = list((tmp_path / "cache").glob("??/*.json"))
+        entry.write_text('{"key": "wrong", "value": "not-a-dict"}')
+        outcomes = run_cells(counting_experiment, specs, cache=cache)
+        assert outcomes[0].ok
+        assert call_count(tmp_path) == 2
+
+    def test_failed_cells_are_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+
+        outcomes = run_cells(
+            _always_raise,
+            [CellSpec(index=0, params={"seed": 0}, seed=0)],
+            cache=cache,
+        )
+        assert not outcomes[0].ok
+        assert len(cache) == 0
+
+    def test_cache_requires_stable_experiment_identity(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        with pytest.raises(TypeError):
+            run_cells(
+                lambda seed: {"x": 1.0},
+                [CellSpec(index=0, params={"seed": 0}, seed=0)],
+                cache=cache,
+            )
+
+    def test_malformed_key_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        with pytest.raises(ValueError):
+            cache.path_for("../../etc/passwd")
+
+
+def _always_raise(seed):
+    raise RuntimeError("never cache me")
