@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Compare a fresh bench payload against a committed baseline.
+
+CI's bench-smoke job runs ``python -m repro bench --smoke`` and then::
+
+    python scripts/bench_compare.py BENCH_baseline.json BENCH_smoke.json
+
+The comparison has two parts:
+
+* **Schema + identity** — both files must be valid ``repro-bench/1``
+  payloads of the same mode; mismatches are configuration errors and
+  fail immediately.
+* **Headline regression** — the fresh run's headline metric (event
+  throughput) must not fall more than ``--threshold`` (default 20%)
+  below the baseline's.  Faster-than-baseline is never a failure.
+
+Wall-clock throughput varies across machines, so the committed baseline
+is only a coarse floor — the threshold catches "the event loop got
+multiples slower", not single-digit noise.  Exit code 0 on pass, 1 on
+regression or invalid input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.obs import validate_bench_payload  # noqa: E402
+
+__all__ = ["load_payload", "compare_payloads", "main"]
+
+
+def load_payload(path: Path) -> Tuple[Optional[Dict[str, object]], List[str]]:
+    """Read and schema-validate one bench JSON file.
+
+    Returns ``(payload, [])`` on success or ``(None, errors)`` when the
+    file is missing, unparsable or fails ``repro-bench/1`` validation.
+    """
+    if not path.is_file():
+        return None, [f"{path}: no such file"]
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return None, [f"{path}: invalid JSON: {exc}"]
+    if not isinstance(payload, dict):
+        return None, [f"{path}: top level must be a JSON object"]
+    errors = [f"{path}: {e}" for e in validate_bench_payload(payload)]
+    if errors:
+        return None, errors
+    return payload, []
+
+
+def compare_payloads(
+    baseline: Dict[str, object],
+    fresh: Dict[str, object],
+    threshold: float = 0.20,
+) -> List[str]:
+    """Regression check; returns a list of failure messages (empty = pass)."""
+    if not 0.0 < threshold < 1.0:
+        raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+    failures = []
+    base_head: Dict[str, object] = baseline["headline"]  # type: ignore[assignment]
+    fresh_head: Dict[str, object] = fresh["headline"]  # type: ignore[assignment]
+    if baseline["mode"] != fresh["mode"]:
+        failures.append(
+            f"mode mismatch: baseline is {baseline['mode']!r}, "
+            f"fresh is {fresh['mode']!r}"
+        )
+    if base_head["metric"] != fresh_head["metric"]:
+        failures.append(
+            f"headline metric mismatch: baseline tracks "
+            f"{base_head['metric']!r}, fresh tracks {fresh_head['metric']!r}"
+        )
+        return failures
+    base_value = float(base_head["value"])  # type: ignore[arg-type]
+    fresh_value = float(fresh_head["value"])  # type: ignore[arg-type]
+    if base_value <= 0.0:
+        failures.append(f"baseline headline value must be positive, got {base_value}")
+        return failures
+    floor = base_value * (1.0 - threshold)
+    if fresh_value < floor:
+        drop = 1.0 - fresh_value / base_value
+        failures.append(
+            f"headline regression: {base_head['metric']} fell "
+            f"{drop:.1%} (baseline {base_value:.0f}, fresh {fresh_value:.0f}, "
+            f"allowed floor {floor:.0f} at threshold {threshold:.0%})"
+        )
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        description="fail when a bench payload regresses against a baseline"
+    )
+    parser.add_argument("baseline", type=Path, help="committed baseline JSON")
+    parser.add_argument("fresh", type=Path, help="freshly produced bench JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="allowed fractional headline drop (default: 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline, errors = load_payload(args.baseline)
+    fresh, fresh_errors = load_payload(args.fresh)
+    errors += fresh_errors
+    if baseline is not None and fresh is not None:
+        errors += compare_payloads(baseline, fresh, threshold=args.threshold)
+    if errors:
+        for line in errors:
+            print(f"FAIL: {line}", file=sys.stderr)
+        return 1
+    base_head = baseline["headline"]  # type: ignore[index]
+    fresh_head = fresh["headline"]  # type: ignore[index]
+    print(
+        f"OK: {fresh_head['metric']} {fresh_head['value']:.0f} vs "  # type: ignore[index]
+        f"baseline {base_head['value']:.0f} "  # type: ignore[index]
+        f"(threshold {args.threshold:.0%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

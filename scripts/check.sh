@@ -5,24 +5,40 @@
 #
 #   scripts/check.sh              lint + runner tests + smoke sweep + suite
 #   scripts/check.sh --lint-only  just the linter (fast, <2 s)
+#   scripts/check.sh --ci         the same gate, non-interactive: junit
+#                                 XML under test-reports/, plus the
+#                                 smoke bench + baseline comparison
 #
-# Both checks are the same ones CI treats as tier-1; a clean exit here
-# means the tree is mergeable.
+# The GitHub workflow (.github/workflows/ci.yml) runs this script with
+# --ci, so the hosted gate and the local gate are one recipe; a clean
+# exit here means the tree is mergeable.
 set -eu
 
 cd "$(dirname "$0")/.."
 PYTHONPATH="${PWD}/src${PYTHONPATH:+:}${PYTHONPATH:-}"
 export PYTHONPATH
 
+MODE="${1:-}"
+PYTEST_ARGS="-x -q"
+JUNIT_RUNNER=""
+JUNIT_TIER1=""
+if [ "$MODE" = "--ci" ]; then
+    mkdir -p test-reports
+    PYTEST_ARGS="-x -q -p no:cacheprovider"
+    JUNIT_RUNNER="--junitxml=test-reports/runner.xml"
+    JUNIT_TIER1="--junitxml=test-reports/tier1.xml"
+fi
+
 echo "== repro.devtools.lint src/repro =="
 python -m repro.devtools.lint src/repro
 
-if [ "${1:-}" = "--lint-only" ]; then
+if [ "$MODE" = "--lint-only" ]; then
     exit 0
 fi
 
 echo "== runner test modules =="
-python -m pytest -x -q \
+# shellcheck disable=SC2086
+python -m pytest $PYTEST_ARGS $JUNIT_RUNNER \
     tests/test_runner_executor.py \
     tests/test_runner_cache.py \
     tests/test_model_properties.py
@@ -30,5 +46,12 @@ python -m pytest -x -q \
 echo "== 2-worker smoke sweep =="
 python -m repro sweep --types colla-filt --rates 60 --window 10 --workers 2
 
+if [ "$MODE" = "--ci" ]; then
+    echo "== smoke bench + baseline comparison =="
+    python -m repro bench --smoke --out BENCH_smoke.json
+    python scripts/bench_compare.py BENCH_baseline.json BENCH_smoke.json
+fi
+
 echo "== tier-1 pytest =="
-python -m pytest -x -q
+# shellcheck disable=SC2086
+python -m pytest $PYTEST_ARGS $JUNIT_TIER1

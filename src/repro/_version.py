@@ -6,4 +6,4 @@ importing the package root.  Bump it whenever a change can alter any
 simulated number; stale cache entries are invalidated by the bump.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"

@@ -23,6 +23,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from .._validation import check_int, check_positive, require
+from ..obs import Recorder
 from ..power.budget import BudgetLevel
 from ..runner import CellSpec, ResultCache, canonical_json, run_cells
 from ..sim.config import SimulationConfig
@@ -167,6 +168,7 @@ class DopeRegionAnalyzer:
         rates_rps: Sequence[float],
         workers: int = 1,
         cache: Optional[ResultCache] = None,
+        recorder: Optional[Recorder] = None,
     ) -> RegionResult:
         """Probe the full grid (``len(types) × len(rates)`` cells).
 
@@ -174,7 +176,8 @@ class DopeRegionAnalyzer:
         order — and therefore every exported artifact — is identical to
         the serial sweep.  ``cache`` reuses stored cells keyed on the
         analyzer's full configuration, the cell coordinates and the
-        repro version.
+        repro version.  ``recorder`` collects runner counters (cells,
+        cache hits/misses) and wall timings for this sweep.
         """
         require(len(types) > 0, "need at least one type")
         require(len(rates_rps) > 0, "need at least one rate")
@@ -195,6 +198,7 @@ class DopeRegionAnalyzer:
             workers=workers,
             cache=cache,
             experiment_id=self.experiment_id(),
+            recorder=recorder,
         )
         cells = []
         for outcome in outcomes:

@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from .._validation import check_fraction, require
+from ..obs import Recorder
 from ..runner import CellSpec, ResultCache, default_experiment_id, run_cells
 
 __all__ = [
@@ -136,13 +137,15 @@ def replicate(
     workers: int = 1,
     cache: Optional[ResultCache] = None,
     experiment_id: Optional[str] = None,
+    recorder: Optional[Recorder] = None,
 ) -> Dict[str, MetricSummary]:
     """Run *experiment* once per seed and summarise every metric.
 
     The experiment returns a dict of scalar metrics; all runs must
     return the same metric keys.  ``workers>1`` fans seeds out across
     processes (the experiment must then be picklable); ``cache`` reuses
-    stored results keyed on ``(experiment_id, seed, repro version)``.
+    stored results keyed on ``(experiment_id, seed, repro version)``;
+    ``recorder`` collects runner counters and wall timings.
     """
     require(len(seeds) > 0, "need at least one seed")
     z = _z_for(confidence)
@@ -158,6 +161,7 @@ def replicate(
         workers=workers,
         cache=cache,
         experiment_id=experiment_id,
+        recorder=recorder,
     )
     for outcome in outcomes:
         if outcome.error is not None:
@@ -202,6 +206,7 @@ class GridSweep:
         cache: Optional[ResultCache] = None,
         experiment_id: Optional[str] = None,
         on_error: str = "raise",
+        recorder: Optional[Recorder] = None,
     ) -> List[Dict[str, object]]:
         """Run *experiment(**params, seed=s)* on every cell × seed.
 
@@ -241,6 +246,7 @@ class GridSweep:
             workers=workers,
             cache=cache,
             experiment_id=experiment_id,
+            recorder=recorder,
         )
 
         rows = []

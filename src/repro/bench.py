@@ -1,0 +1,275 @@
+"""Machine-readable benchmarks: the engine behind ``repro bench``.
+
+One call to :func:`run_bench` exercises the simulator's two hot paths —
+the Table-2 evaluation scenario (normal load + DOPE flood under
+Anti-DOPE) and the Fig-11 region sweep through the cached experiment
+runner — with a single shared :class:`~repro.obs.Recorder`, and returns
+one JSON-ready payload in the ``repro-bench/1`` schema:
+
+* **headline** — ``events_per_wall_s``: simulator events dispatched per
+  wall-clock second inside the event loop, the throughput number CI
+  regression-checks (``scripts/bench_compare.py``);
+* **counters** — the deterministic counter table (same-seed runs are
+  identical);
+* **timings_s / phases** — segregated wall-clock (never part of any
+  deterministic hash);
+* **derived** — headline plus sim-time-per-wall-second and the runner
+  cache hit rate measured by a cold-then-warm sweep pass.
+
+The scenario constants here are the single source shared with the
+figure/table bench suite (``benchmarks/_support.py`` imports them), so
+``repro bench`` measures the same workload the benches assert on.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ._version import __version__
+from .analysis import DopeRegionAnalyzer
+from .core import AntiDopeScheme
+from .obs import BENCH_SCHEMA_ID, Recorder, config_hash, validate_bench_payload
+from .power import BudgetLevel
+from .runner import ResultCache
+from .sim import DataCenterSimulation, SimulationConfig
+from .sim.engine import EventEngine
+from .workloads import (
+    COLLA_FILT,
+    K_MEANS,
+    TEXT_CONT,
+    VOLUME_DOS,
+    WORD_COUNT,
+    RequestMix,
+    RequestType,
+    uniform_mix,
+)
+
+__all__ = [
+    "SEED",
+    "ATTACK_START_S",
+    "MEASURE_FROM_S",
+    "DURATION_S",
+    "ATTACK_RATE_RPS",
+    "NORMAL_RATE_RPS",
+    "ATTACK_MIX",
+    "REGION_TYPES",
+    "REGION_RATES_RPS",
+    "BenchPlan",
+    "plan_for",
+    "run_bench",
+]
+
+# ----------------------------------------------------------------------
+# Evaluation-scenario constants (shared with benchmarks/_support.py)
+# ----------------------------------------------------------------------
+
+#: Master seed of the evaluation scenario.
+SEED = 7
+
+#: Attack onset within the evaluation window.
+ATTACK_START_S = 30.0
+
+#: Start of the steady-state measurement window.
+MEASURE_FROM_S = 60.0
+
+#: Full evaluation-scenario duration.
+DURATION_S = 240.0
+
+# Attack sized at roughly the rack's nominal-frequency service capacity:
+# strong enough that power-fitting DVFS pushes the cluster into overload
+# (the paper's degradation regime) while Normal-PB stays serviceable.
+ATTACK_RATE_RPS = 220.0
+
+#: Legitimate background load of the evaluation scenario.
+NORMAL_RATE_RPS = 40.0
+
+#: The DOPE flood's request mix (high-power catalog types).
+ATTACK_MIX: RequestMix = uniform_mix((COLLA_FILT, K_MEANS, WORD_COUNT))
+
+#: The Fig 11 region-grid axes shared by the bench and the perf suite.
+REGION_TYPES: Tuple[RequestType, ...] = (
+    COLLA_FILT,
+    K_MEANS,
+    WORD_COUNT,
+    TEXT_CONT,
+    VOLUME_DOS,
+)
+REGION_RATES_RPS: Tuple[float, ...] = (50.0, 150.0, 300.0, 600.0)
+
+
+# ----------------------------------------------------------------------
+# Bench plans
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BenchPlan:
+    """Workload sizing of one bench mode."""
+
+    mode: str
+    attack_duration_s: float
+    attack_repetitions: int
+    region_types: Tuple[RequestType, ...]
+    region_rates_rps: Tuple[float, ...]
+    region_window_s: float
+
+
+def plan_for(mode: str) -> BenchPlan:
+    """The sizing of ``"smoke"`` (seconds, CI) or ``"full"`` (minutes)."""
+    if mode == "smoke":
+        return BenchPlan(
+            mode="smoke",
+            attack_duration_s=60.0,
+            attack_repetitions=3,
+            region_types=REGION_TYPES[:2],
+            region_rates_rps=REGION_RATES_RPS[:2],
+            region_window_s=20.0,
+        )
+    if mode == "full":
+        return BenchPlan(
+            mode="full",
+            attack_duration_s=DURATION_S,
+            attack_repetitions=3,
+            region_types=REGION_TYPES,
+            region_rates_rps=REGION_RATES_RPS,
+            region_window_s=50.0,
+        )
+    raise ValueError(f"mode must be 'smoke' or 'full', got {mode!r}")
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+
+def run_bench(
+    mode: str = "smoke", seed: int = SEED, name: str = "bench"
+) -> Dict[str, object]:
+    """Run the bench scenario and return a ``repro-bench/1`` payload.
+
+    Two phases share one recorder: the evaluation scenario under
+    Anti-DOPE (drives the engine/cluster/network/power counters and the
+    headline event throughput), then the region sweep twice against a
+    fresh temporary cache — a cold pass (all misses) and a warm pass
+    (all hits) — so the payload reports a real runner cache hit rate.
+
+    The scenario runs ``attack_repetitions`` times and the payload keeps
+    the **fastest** repetition (standard best-of-N: repetitions are
+    identical same-seed runs, so the fastest one is the least
+    noise-polluted measurement of the event loop).  Counters are the
+    same for every repetition, so best-of-N changes no deterministic
+    output; the ``counters`` table is deterministic per seed and every
+    wall-clock number stays in ``timings_s``/``phases``/``derived``.
+    """
+    plan = plan_for(mode)
+    recorder = Recorder()
+    cfg = SimulationConfig(budget_level=BudgetLevel.LOW, seed=seed)
+
+    best: Recorder = _attack_repetition(cfg, plan)
+    for _ in range(plan.attack_repetitions - 1):
+        candidate = _attack_repetition(cfg, plan)
+        if _engine_throughput(candidate) > _engine_throughput(best):
+            best = candidate
+    recorder.counters.merge(best.counters)
+    recorder.timers.merge(best.timers)
+
+    analyzer = DopeRegionAnalyzer(
+        config=SimulationConfig(budget_level=BudgetLevel.MEDIUM, seed=seed),
+        window_s=plan.region_window_s,
+        num_agents=20,
+        background_rate_rps=20.0,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        cache = ResultCache(tmp)
+        with recorder.timers.phase("bench.region_sweep_cold"):
+            analyzer.sweep(
+                plan.region_types,
+                plan.region_rates_rps,
+                cache=cache,
+                recorder=recorder,
+            )
+        with recorder.timers.phase("bench.region_sweep_warm"):
+            analyzer.sweep(
+                plan.region_types,
+                plan.region_rates_rps,
+                cache=cache,
+                recorder=recorder,
+            )
+
+    counters = recorder.counters.as_dict()
+    timings = recorder.timers.as_dict()
+    payload = {
+        "schema": BENCH_SCHEMA_ID,
+        "name": name,
+        "mode": plan.mode,
+        "version": __version__,
+        "seed": seed,
+        "config_hash": config_hash(cfg.to_dict()),
+        "headline": {},
+        "counters": counters,
+        "timings_s": timings,
+        "derived": _derive(counters, timings),
+        "phases": [
+            {"name": phase_name, "wall_s": entry["total_s"]}
+            for phase_name, entry in timings.items()
+            if phase_name.startswith("bench.")
+        ],
+    }
+    derived = payload["derived"]
+    payload["headline"] = {
+        "metric": "events_per_wall_s",
+        "value": derived["events_per_wall_s"],  # type: ignore[index]
+    }
+    errors = validate_bench_payload(payload)
+    if errors:
+        raise ValueError(
+            "bench payload failed validation: " + "; ".join(errors)
+        )
+    return payload
+
+
+def _attack_repetition(cfg: SimulationConfig, plan: BenchPlan) -> Recorder:
+    """One timed run of the evaluation scenario; returns its recorder."""
+    recorder = Recorder()
+    with recorder.timers.phase("bench.attack_scenario"):
+        engine = EventEngine(obs=recorder)
+        sim = DataCenterSimulation(cfg, scheme=AntiDopeScheme(), engine=engine)
+        sim.add_normal_traffic(rate_rps=NORMAL_RATE_RPS)
+        sim.add_flood(
+            mix=ATTACK_MIX,
+            rate_rps=ATTACK_RATE_RPS,
+            num_agents=20,
+            start_s=ATTACK_START_S,
+        )
+        sim.run(plan.attack_duration_s)
+    return recorder
+
+
+def _engine_throughput(recorder: Recorder) -> float:
+    """Events dispatched per wall second inside this recorder's event loop."""
+    wall_s = recorder.timers.total_s("engine.run")
+    if wall_s <= 0.0:
+        return 0.0
+    return recorder.counters.get("engine.events_dispatched") / wall_s
+
+
+def _derive(
+    counters: Dict[str, object], timings: Dict[str, Dict[str, object]]
+) -> Dict[str, float]:
+    """The wall-normalised metrics the payload's ``derived`` block holds."""
+    engine_entry = timings.get("engine.run", {})
+    engine_wall_s = float(engine_entry.get("total_s", 0.0))
+    events = float(counters.get("engine.events_dispatched", 0))  # type: ignore[arg-type]
+    sim_advanced_s = float(counters.get("engine.sim_time_advanced_s", 0.0))  # type: ignore[arg-type]
+    hits = float(counters.get("runner.cache_hits", 0))  # type: ignore[arg-type]
+    misses = float(counters.get("runner.cache_misses", 0))  # type: ignore[arg-type]
+    lookups = hits + misses
+    return {
+        "events_per_wall_s": events / engine_wall_s if engine_wall_s > 0.0 else 0.0,
+        "sim_time_per_wall_s": (
+            sim_advanced_s / engine_wall_s if engine_wall_s > 0.0 else 0.0
+        ),
+        "runner_cache_hit_rate": hits / lookups if lookups > 0.0 else 0.0,
+    }

@@ -14,18 +14,28 @@ Three operator-facing commands wrap the library's main workflows:
     The Fig. 11 region grid through the experiment runner: probe cells
     fan out over ``--workers`` processes and an optional ``--cache-dir``
     makes repeat sweeps near-instant.
+``bench``
+    The machine-readable benchmark (``repro-bench/1`` JSON): runs the
+    evaluation scenario plus a cold/warm region sweep and reports the
+    counter table, wall timings and the event-throughput headline CI
+    regression-checks.
 
 All commands are deterministic per ``--seed``; ``sweep`` output is
-additionally byte-identical for any worker count.
+additionally byte-identical for any worker count, and ``bench``'s
+counter table (not its wall timings) is deterministic per seed.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .analysis import DopeRegionAnalyzer, format_table
+from .bench import SEED as BENCH_SEED
+from .bench import run_bench
 from .core import AntiDopeScheme
 from .power import BudgetLevel, CappingScheme, ShavingScheme, TokenScheme
 from .runner import ResultCache
@@ -46,6 +56,7 @@ __all__ = [
     "cmd_compare",
     "cmd_attack",
     "cmd_sweep",
+    "cmd_bench",
     "main",
 ]
 
@@ -147,6 +158,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         help="on-disk result cache; repeat sweeps reuse stored cells",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="machine-readable benchmark (repro-bench/1 JSON)"
+    )
+    mode = bench.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized bench (seconds; the default)",
+    )
+    mode.add_argument(
+        "--full",
+        action="store_true",
+        help="full evaluation-sized bench (minutes)",
+    )
+    bench.add_argument(
+        "--seed", type=int, default=BENCH_SEED, help="master RNG seed"
+    )
+    bench.add_argument(
+        "--name", default=None, help="payload name (default: bench-<mode>)"
+    )
+    bench.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the JSON payload here (default: stdout)",
     )
 
     return parser
@@ -322,6 +360,24 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench`` — emit the machine-readable benchmark payload."""
+    mode = "full" if args.full else "smoke"
+    name = args.name if args.name else f"bench-{mode}"
+    payload = run_bench(mode=mode, seed=args.seed, name=name)
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        headline = payload["headline"]
+        print(
+            f"wrote {args.out}  "
+            f"({headline['metric']}={headline['value']:.0f})"  # type: ignore[index]
+        )
+    else:
+        print(text)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -330,6 +386,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": cmd_compare,
         "attack": cmd_attack,
         "sweep": cmd_sweep,
+        "bench": cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -90,6 +90,7 @@ class Server:
             )
         self.server_id = server_id
         self.engine = engine
+        self._obs = engine.obs
         self.rng = rng
         self.power_model = power_model or ServerPowerModel()
         self.ladder = ladder or FrequencyLadder()
@@ -149,6 +150,7 @@ class Server:
         """Instantaneous power draw in watts (zero when powered off)."""
         if not self.powered_on:
             return 0.0
+        self._obs.counters.inc("cluster.power_model_evals")
         return self.power_model.power(
             (e.request.rtype for e in self._active.values()), self.freq_ratio
         )
@@ -251,6 +253,7 @@ class Server:
         level = self.ladder.clamp(level)
         if level == self.level:
             return
+        self._obs.counters.inc("cluster.dvfs_transitions")
         self._accrue()
         now = self.engine.now
         old_ratio = self.freq_ratio

@@ -108,7 +108,10 @@ class AntiDopeScheme(PowerManagementScheme):
                 threshold_fraction=self.suspect_threshold_fraction,
             )
         self.pdf = PDFPolicy(
-            self.suspect_list, rack.servers, self.suspect_pool_size
+            self.suspect_list,
+            rack.servers,
+            self.suspect_pool_size,
+            obs=engine.obs,
         )
         if self.suspect_queue_factor is not None:
             for server in self.pdf.suspect_pool:

@@ -16,12 +16,13 @@ round-robin policy would sit — "minute system modification".
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from .._validation import check_int, require
 from ..cluster.server import Server
 from ..network.load_balancer import RoundRobinPolicy
 from ..network.request import Request
+from ..obs import Recorder
 from .suspect_list import SuspectList
 
 __all__ = [
@@ -61,6 +62,9 @@ class PDFPolicy:
     suspect_pool_size:
         Number of servers isolated for suspect traffic (paper's mini
         rack isolates 1 of 4 by default).
+    obs:
+        Observation context recording per-decision counters; defaults
+        to a private recorder (Anti-DOPE passes the engine's at bind).
     """
 
     def __init__(
@@ -68,6 +72,7 @@ class PDFPolicy:
         suspect_list: SuspectList,
         servers: Sequence[Server],
         suspect_pool_size: int = 1,
+        obs: Optional[Recorder] = None,
     ) -> None:
         self.suspect_list = suspect_list
         self.innocent_pool, self.suspect_pool = split_pools(
@@ -75,6 +80,7 @@ class PDFPolicy:
         )
         self._innocent_rr = RoundRobinPolicy()
         self._suspect_rr = RoundRobinPolicy()
+        self._obs = obs if obs is not None else Recorder()
         self.suspect_forwarded = 0
         self.innocent_forwarded = 0
 
@@ -87,8 +93,10 @@ class PDFPolicy:
         """
         if self.suspect_list.is_suspect(request.url):
             self.suspect_forwarded += 1
+            self._obs.counters.inc("network.pdf_suspect_forwarded")
             return self._suspect_rr.select(request, self.suspect_pool)
         self.innocent_forwarded += 1
+        self._obs.counters.inc("network.pdf_innocent_forwarded")
         return self._innocent_rr.select(request, self.innocent_pool)
 
     @property

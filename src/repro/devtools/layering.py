@@ -45,6 +45,7 @@ _PLAIN_PACKAGES = frozenset(
         "analysis",
         "devtools",
         "runner",
+        "obs",
     }
 )
 
@@ -52,28 +53,43 @@ _PLAIN_PACKAGES = frozenset(
 ALLOWED_IMPORTS: Dict[str, FrozenSet[str]] = {
     "validation": frozenset(),
     "version": frozenset(),
-    "runner": frozenset({"validation", "version"}),
-    "sim.kernel": frozenset({"validation"}),
+    # The observability layer sits just above the leaves: everything may
+    # record into it, so it may depend on nothing but the leaf modules.
+    "obs": frozenset({"validation", "version"}),
+    "runner": frozenset({"validation", "version", "obs"}),
+    "sim.kernel": frozenset({"validation", "obs"}),
     "trace": frozenset({"validation"}),
     "workloads.catalog": frozenset({"validation"}),
     "devtools": frozenset({"validation"}),
-    "network": frozenset({"validation", "sim.kernel", "workloads.catalog"}),
-    "cluster": frozenset({"validation", "sim.kernel", "workloads.catalog", "network"}),
+    "network": frozenset({"validation", "obs", "sim.kernel", "workloads.catalog"}),
+    "cluster": frozenset(
+        {"validation", "obs", "sim.kernel", "workloads.catalog", "network"}
+    ),
     "power": frozenset(
-        {"validation", "sim.kernel", "workloads.catalog", "network", "cluster"}
+        {"validation", "obs", "sim.kernel", "workloads.catalog", "network", "cluster"}
     ),
     "metrics": frozenset(
-        {"validation", "workloads.catalog", "network", "cluster", "power"}
+        {"validation", "obs", "workloads.catalog", "network", "cluster", "power"}
     ),
     "workloads": frozenset(
-        {"validation", "sim.kernel", "trace", "workloads.catalog", "network"}
+        {"validation", "obs", "sim.kernel", "trace", "workloads.catalog", "network"}
     ),
     "core": frozenset(
-        {"validation", "sim.kernel", "workloads.catalog", "network", "cluster", "power"}
+        {
+            "validation",
+            "obs",
+            "sim.kernel",
+            "workloads.catalog",
+            "network",
+            "cluster",
+            "power",
+        }
     ),
     "sim": frozenset(
         {
             "validation",
+            "version",
+            "obs",
             "sim.kernel",
             "trace",
             "workloads.catalog",
@@ -89,6 +105,7 @@ ALLOWED_IMPORTS: Dict[str, FrozenSet[str]] = {
         {
             "validation",
             "version",
+            "obs",
             "runner",
             "sim.kernel",
             "trace",

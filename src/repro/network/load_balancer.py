@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Callable, List, Optional, Protocol, Sequence
 import numpy as np
 
 from .._validation import require
+from ..obs import Recorder
 from .firewall import RateLimitFirewall
 from .request import Request, RequestOutcome
 
@@ -104,6 +105,9 @@ class NetworkLoadBalancer:
         Callback recording requests rejected anywhere in the pipeline.
     now:
         Clock accessor used to timestamp drops.
+    obs:
+        Observation context counters are recorded into; defaults to a
+        private recorder (the simulation facade passes the engine's).
     """
 
     def __init__(
@@ -114,6 +118,7 @@ class NetworkLoadBalancer:
         admission_filter: Optional[AdmissionFilter] = None,
         drop_sink: Optional[DropSink] = None,
         now: Optional[Callable[[], float]] = None,
+        obs: Optional[Recorder] = None,
     ) -> None:
         require(len(servers) > 0, "NLB needs at least one backend")
         self.servers: List[Server] = list(servers)
@@ -122,6 +127,7 @@ class NetworkLoadBalancer:
         self.admission_filter = admission_filter
         self.drop_sink = drop_sink
         self._now = now or (lambda: 0.0)
+        self._obs = obs if obs is not None else Recorder()
         self.forwarded = 0
         self.dropped = 0
 
@@ -148,10 +154,12 @@ class NetworkLoadBalancer:
             self._drop(request, RequestOutcome.DROPPED_QUEUE_FULL, now)
             return False
         self.forwarded += 1
+        self._obs.counters.inc("network.nlb_forwarded")
         return True
 
     def _drop(self, request: Request, outcome: RequestOutcome, now: float) -> None:
         self.dropped += 1
+        self._obs.counters.inc(f"network.nlb_dropped.{outcome.name.lower()}")
         if self.drop_sink is not None:
             self.drop_sink(request, outcome, now)
         if request.on_terminal is not None:

@@ -72,6 +72,30 @@ class PowerManagementScheme:
     def step(self) -> None:
         """One control-slot action.  Default: do nothing."""
 
+    def slot_tick(self) -> None:
+        """Instrumented per-slot entry point: observe, then :meth:`step`.
+
+        Records the control-slot counters every scheme shares — slots
+        ticked, budget violations seen at slot entry (the power the
+        *previous* decision produced, matching the meter's view), and
+        slots in which the step discharged the battery — then delegates
+        to the scheme's :meth:`step`.  The simulation facade schedules
+        this instead of ``step`` so the counters exist for every scheme
+        without any per-scheme code.
+        """
+        self._require_bound()
+        counters = self.engine.obs.counters
+        counters.inc("power.control_slots")
+        if self.budget.deficit(self.rack.total_power()) > 0.0:
+            counters.inc("power.budget_violation_slots")
+        if self.battery is not None:
+            delivered_before_j = self.battery.delivered_j
+            self.step()
+            if self.battery.delivered_j > delivered_before_j:
+                counters.inc("power.battery_discharge_slots")
+        else:
+            self.step()
+
     # ------------------------------------------------------------------
     # NLB hooks
     # ------------------------------------------------------------------
@@ -112,6 +136,7 @@ class PowerManagementScheme:
         model-based capping controller the paper assumes RAPL provides.
         """
         self._require_bound()
+        self.engine.obs.counters.inc("power.prediction_evals")
         pool = self.rack.servers if servers is None else list(servers)
         pool_ids = {s.server_id for s in pool}
         ratio = self.rack.ladder.ratio(self.rack.ladder.clamp(level))

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .._validation import check_int
+from ..obs import Recorder
 from .cache import ResultCache
 from .hashing import cell_key, default_experiment_id
 
@@ -140,6 +141,7 @@ def run_cells(
     retries: int = 1,
     cache: Optional[ResultCache] = None,
     experiment_id: Optional[str] = None,
+    recorder: Optional[Recorder] = None,
 ) -> List[CellOutcome]:
     """Execute every spec and return outcomes in spec order.
 
@@ -160,38 +162,55 @@ def run_cells(
     experiment_id:
         Stable name keying cache entries.  Defaults to the experiment's
         ``module.qualname``; required explicitly for lambdas/closures.
+    recorder:
+        Optional observation context.  Counters (cells, cache hits and
+        misses, retries, errors) are deterministic — identical for any
+        worker count — while per-cell wall-clock lands in the segregated
+        timer table.
     """
     check_int("workers", workers, minimum=1)
     check_int("retries", retries, minimum=0)
     if cache is not None and experiment_id is None:
         experiment_id = default_experiment_id(experiment)
+    if recorder is None:
+        recorder = Recorder()
+    counters = recorder.counters
+    counters.inc("runner.cells_total", len(specs))
 
     outcomes: Dict[int, CellOutcome] = {}
     keys: Dict[int, str] = {}
     pending: List[CellSpec] = []
-    for spec in specs:
-        if cache is not None:
-            assert experiment_id is not None
-            key = cell_key(experiment_id, spec.params, spec.seed)
-            keys[spec.index] = key
-            hit = cache.get(key)
-            if hit is not None:
-                outcomes[spec.index] = CellOutcome(
-                    spec=spec, value=hit, attempts=0, from_cache=True
-                )
-                continue
-        pending.append(spec)
+    with recorder.timers.phase("runner.run_cells"):
+        for spec in specs:
+            if cache is not None:
+                assert experiment_id is not None
+                key = cell_key(experiment_id, spec.params, spec.seed)
+                keys[spec.index] = key
+                hit = cache.get(key)
+                if hit is not None:
+                    counters.inc("runner.cache_hits")
+                    outcomes[spec.index] = CellOutcome(
+                        spec=spec, value=hit, attempts=0, from_cache=True
+                    )
+                    continue
+                counters.inc("runner.cache_misses")
+            pending.append(spec)
 
-    if pending:
-        if workers == 1:
-            executed = _run_serial(experiment, pending, retries)
-        else:
-            executed = _run_pool(experiment, pending, workers, retries)
-        for outcome in executed:
-            outcomes[outcome.spec.index] = outcome
-            if cache is not None and outcome.ok:
-                assert outcome.value is not None
-                cache.put(keys[outcome.spec.index], outcome.value)
+        if pending:
+            if workers == 1:
+                executed = _run_serial(experiment, pending, retries, recorder)
+            else:
+                executed = _run_pool(experiment, pending, workers, retries, recorder)
+            for outcome in executed:
+                outcomes[outcome.spec.index] = outcome
+                counters.inc("runner.cells_executed")
+                if outcome.attempts > 1:
+                    counters.inc("runner.cell_retries", outcome.attempts - 1)
+                if outcome.error is not None:
+                    counters.inc("runner.cell_errors")
+                if cache is not None and outcome.ok:
+                    assert outcome.value is not None
+                    cache.put(keys[outcome.spec.index], outcome.value)
 
     return [outcomes[spec.index] for spec in specs]
 
@@ -202,14 +221,18 @@ def run_cells(
 
 
 def _run_serial(
-    experiment: Experiment, specs: Sequence[CellSpec], retries: int
+    experiment: Experiment,
+    specs: Sequence[CellSpec],
+    retries: int,
+    recorder: Recorder,
 ) -> List[CellOutcome]:
     results = []
     for spec in specs:
         attempts = 0
         while True:
             attempts += 1
-            payload = _invoke(experiment, spec.params)
+            with recorder.timers.phase("runner.cell"):
+                payload = _invoke(experiment, spec.params)
             if payload[0] == "ok":
                 results.append(
                     CellOutcome(spec=spec, value=payload[1], attempts=attempts)
@@ -253,6 +276,7 @@ def _run_pool(
     specs: Sequence[CellSpec],
     workers: int,
     retries: int,
+    recorder: Recorder,
 ) -> List[CellOutcome]:
     results: Dict[int, CellOutcome] = {}
     queue: List[CellSpec] = list(specs)
@@ -267,31 +291,37 @@ def _run_pool(
         pool = ProcessPoolExecutor(max_workers=workers)
         try:
             batch = queue[:1] if isolate else list(queue)
-            futures = [
-                (spec, pool.submit(_invoke, experiment, spec.params))
-                for spec in batch
-            ]
             crashed: List[CellSpec] = []
-            for spec, future in futures:
-                try:
-                    payload = future.result()
-                except BrokenExecutor:
-                    crashed.append(spec)
-                    continue
-                attempts[spec.index] += 1
-                if payload[0] == "ok":
-                    results[spec.index] = CellOutcome(
-                        spec=spec, value=payload[1], attempts=attempts[spec.index]
-                    )
-                elif attempts[spec.index] > retries:
-                    results[spec.index] = CellOutcome(
-                        spec=spec,
-                        error=_error_from_payload(
-                            spec, payload, attempts[spec.index]
-                        ),
-                        attempts=attempts[spec.index],
-                    )
-                # else: stays queued for the next round's retry.
+            # Pool mode cannot attribute wall-clock to single cells
+            # (they overlap across workers), so each submission round is
+            # timed as one batch instead.
+            with recorder.timers.phase("runner.pool_batch"):
+                futures = [
+                    (spec, pool.submit(_invoke, experiment, spec.params))
+                    for spec in batch
+                ]
+                for spec, future in futures:
+                    try:
+                        payload = future.result()
+                    except BrokenExecutor:
+                        crashed.append(spec)
+                        continue
+                    attempts[spec.index] += 1
+                    if payload[0] == "ok":
+                        results[spec.index] = CellOutcome(
+                            spec=spec,
+                            value=payload[1],
+                            attempts=attempts[spec.index],
+                        )
+                    elif attempts[spec.index] > retries:
+                        results[spec.index] = CellOutcome(
+                            spec=spec,
+                            error=_error_from_payload(
+                                spec, payload, attempts[spec.index]
+                            ),
+                            attempts=attempts[spec.index],
+                        )
+                    # else: stays queued for the next round's retry.
 
             if crashed:
                 if isolate:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from .._validation import check_non_negative, check_positive
+from ..obs import Recorder
 from .clock import SimulationClock
 from .events import Event, EventQueue, PRIORITY_WORKLOAD
 
@@ -26,10 +27,19 @@ __all__ = ["EventEngine"]
 
 
 class EventEngine:
-    """Heap-based discrete event loop with a monotonic clock."""
+    """Heap-based discrete event loop with a monotonic clock.
 
-    def __init__(self, start_time_s: float = 0.0) -> None:
+    Every engine carries a :class:`~repro.obs.Recorder` (``obs``): the
+    shared observation context all components wired to this engine
+    record into.  Pass one in to share a recorder across several
+    engines (bench phases); the default is a private fresh recorder.
+    """
+
+    def __init__(
+        self, start_time_s: float = 0.0, obs: Optional[Recorder] = None
+    ) -> None:
         self.clock = SimulationClock(start_time_s)
+        self.obs = obs if obs is not None else Recorder()
         self._queue = EventQueue()
         self._running = False
         self._stopped = False
@@ -138,23 +148,34 @@ class EventEngine:
             raise RuntimeError("engine is already running (re-entrant run())")
         self._running = True
         self._stopped = False
+        dispatched_before = self.dispatched
+        sim_before_s = self.clock.now
         try:
-            while self._queue and not self._stopped:
-                next_time_s = self._queue.peek_time()
-                if until is not None and next_time_s is not None and next_time_s > until:
-                    self.clock.advance_to(until)
-                    break
-                event = self._queue.pop()
-                if event is None:
-                    break
-                self.clock.advance_to(event.time_s)
-                event.callback()
-                self.dispatched += 1
-            else:
-                if until is not None and self.clock.now < until and not self._stopped:
-                    self.clock.advance_to(until)
+            with self.obs.timers.phase("engine.run"):
+                while self._queue and not self._stopped:
+                    next_time_s = self._queue.peek_time()
+                    if until is not None and next_time_s is not None and next_time_s > until:
+                        self.clock.advance_to(until)
+                        break
+                    event = self._queue.pop()
+                    if event is None:
+                        break
+                    self.clock.advance_to(event.time_s)
+                    event.callback()
+                    self.dispatched += 1
+                else:
+                    if until is not None and self.clock.now < until and not self._stopped:
+                        self.clock.advance_to(until)
         finally:
             self._running = False
+            counters = self.obs.counters
+            counters.inc("engine.run_calls")
+            counters.inc(
+                "engine.events_dispatched", self.dispatched - dispatched_before
+            )
+            counters.inc(
+                "engine.sim_time_advanced_s", self.clock.now - sim_before_s
+            )
         return self.clock.now
 
     def stop(self) -> None:

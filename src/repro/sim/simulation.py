@@ -33,6 +33,7 @@ from ..metrics.latency import LatencyStats
 from ..network.firewall import NullFirewall, RateLimitFirewall
 from ..network.load_balancer import NetworkLoadBalancer, RoundRobinPolicy
 from ..network.sources import SourceRegistry
+from ..obs import Recorder, RunManifest, config_hash
 from ..power.battery import Battery
 from ..power.budget import PowerBudget
 from ..power.manager import NullScheme, PowerManagementScheme
@@ -128,6 +129,7 @@ class DataCenterSimulation:
             admission_filter=self.scheme.admission_filter(),
             drop_sink=self.collector.sink,
             now=lambda: self.engine.now,
+            obs=self.engine.obs,
         )
 
         self.meter = PowerMeter(
@@ -241,7 +243,7 @@ class DataCenterSimulation:
             self.meter.start()
             self.engine.every(
                 self.config.slot_s,
-                self.scheme.step,
+                self.scheme.slot_tick,
                 priority=PRIORITY_CONTROL,
             )
             self._started = True
@@ -261,6 +263,29 @@ class DataCenterSimulation:
     def now(self) -> float:
         """Current simulation time."""
         return self.engine.now
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def obs(self) -> Recorder:
+        """The observation context every component records into."""
+        return self.engine.obs
+
+    def run_manifest(self, name: str = "run") -> RunManifest:
+        """Structured record of this run so far.
+
+        The manifest's deterministic part (config hash, seed, version,
+        counters) is identical across same-seed runs; wall timings ride
+        along outside the deterministic hash.
+        """
+        return RunManifest(
+            name=name,
+            seed=self.config.seed,
+            config_hash=config_hash(self.config.to_dict()),
+            counters=self.obs.counters.as_dict(),
+            timings_s=self.obs.timers.as_dict(),
+        )
 
     # ------------------------------------------------------------------
     # Results

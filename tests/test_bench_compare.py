@@ -1,0 +1,111 @@
+"""scripts/bench_compare.py — the CI bench regression gate."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import BENCH_SCHEMA_ID
+
+_SCRIPT = Path(__file__).parent.parent / "scripts" / "bench_compare.py"
+
+
+@pytest.fixture(scope="module")
+def bench_compare():
+    spec = importlib.util.spec_from_file_location("bench_compare", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _payload(value=1000.0, mode="smoke", metric="events_per_wall_s"):
+    return {
+        "schema": BENCH_SCHEMA_ID,
+        "name": "t",
+        "mode": mode,
+        "version": "1.2.0",
+        "seed": 7,
+        "config_hash": "ab" * 32,
+        "headline": {"metric": metric, "value": value},
+        "counters": {"engine.events_dispatched": 10},
+        "timings_s": {"engine.run": {"total_s": 0.01, "count": 1}},
+        "derived": {
+            "events_per_wall_s": value,
+            "sim_time_per_wall_s": 50.0,
+            "runner_cache_hit_rate": 0.5,
+            metric: value,
+        },
+        "phases": [],
+    }
+
+
+def test_within_threshold_passes(bench_compare):
+    failures = bench_compare.compare_payloads(_payload(1000.0), _payload(850.0))
+    assert failures == []
+
+
+def test_25_percent_regression_fails(bench_compare):
+    failures = bench_compare.compare_payloads(_payload(1000.0), _payload(750.0))
+    assert len(failures) == 1
+    assert "regression" in failures[0]
+    assert "25.0%" in failures[0]
+
+
+def test_exactly_at_floor_passes_and_faster_is_fine(bench_compare):
+    assert bench_compare.compare_payloads(_payload(1000.0), _payload(800.0)) == []
+    assert bench_compare.compare_payloads(_payload(1000.0), _payload(5000.0)) == []
+
+
+def test_custom_threshold(bench_compare):
+    base, fresh = _payload(1000.0), _payload(900.0)
+    assert bench_compare.compare_payloads(base, fresh, threshold=0.05) != []
+    assert bench_compare.compare_payloads(base, fresh, threshold=0.15) == []
+    with pytest.raises(ValueError, match="threshold"):
+        bench_compare.compare_payloads(base, fresh, threshold=1.5)
+
+
+def test_mode_and_metric_mismatch_fail(bench_compare):
+    assert bench_compare.compare_payloads(
+        _payload(mode="full"), _payload(mode="smoke")
+    )
+    assert bench_compare.compare_payloads(
+        _payload(metric="sim_time_per_wall_s"), _payload()
+    )
+
+
+def test_nonpositive_baseline_fails(bench_compare):
+    assert bench_compare.compare_payloads(_payload(0.0), _payload(10.0))
+
+
+def test_load_payload_reports_bad_inputs(bench_compare, tmp_path):
+    missing = tmp_path / "nope.json"
+    _, errors = bench_compare.load_payload(missing)
+    assert errors and "no such file" in errors[0]
+
+    garbled = tmp_path / "garbled.json"
+    garbled.write_text("{not json")
+    _, errors = bench_compare.load_payload(garbled)
+    assert errors and "invalid JSON" in errors[0]
+
+    invalid = tmp_path / "invalid.json"
+    invalid.write_text(json.dumps({"schema": "wrong"}))
+    _, errors = bench_compare.load_payload(invalid)
+    assert errors
+
+
+def test_main_exit_codes(bench_compare, tmp_path):
+    base = tmp_path / "base.json"
+    fresh = tmp_path / "fresh.json"
+    base.write_text(json.dumps(_payload(1000.0)))
+    fresh.write_text(json.dumps(_payload(750.0)))
+    assert bench_compare.main([str(base), str(fresh)]) == 1
+    assert bench_compare.main([str(base), str(fresh), "--threshold", "0.30"]) == 0
+
+
+def test_committed_baseline_is_schema_valid(bench_compare):
+    baseline = Path(__file__).parent.parent / "BENCH_baseline.json"
+    payload, errors = bench_compare.load_payload(baseline)
+    assert errors == []
+    assert payload["mode"] == "smoke"
+    assert payload["headline"]["value"] > 0

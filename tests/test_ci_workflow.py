@@ -1,0 +1,112 @@
+"""Structural validation of .github/workflows/ci.yml.
+
+The pinned dev container has no ``actionlint``, so this suite is the
+schema check keeping the workflow honest: it must parse as YAML, define
+the three jobs the repo's CI contract names (lint, test matrix,
+bench-smoke), run the *same* gate script a developer runs locally, and
+cover the supported Python matrix with pip caching.
+"""
+
+from pathlib import Path
+
+import pytest
+import yaml
+
+_WORKFLOW = Path(__file__).parent.parent / ".github" / "workflows" / "ci.yml"
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    return yaml.safe_load(_WORKFLOW.read_text())
+
+
+def _steps(job):
+    return job["steps"]
+
+
+def _run_lines(job):
+    return "\n".join(step.get("run", "") for step in _steps(job))
+
+
+def test_workflow_parses_and_triggers_on_push_and_pr(workflow):
+    assert workflow["name"] == "ci"
+    # YAML 1.1 parses the bare key `on` as boolean True.
+    triggers = workflow.get("on", workflow.get(True))
+    assert "pull_request" in triggers
+    assert triggers["push"]["branches"] == ["main"]
+
+
+def test_workflow_defines_the_three_contract_jobs(workflow):
+    assert set(workflow["jobs"]) == {"lint", "test", "bench-smoke"}
+
+
+def test_every_job_checks_out_and_sets_up_python_with_pip_cache(workflow):
+    for name, job in workflow["jobs"].items():
+        uses = [step.get("uses", "") for step in _steps(job)]
+        assert any(u.startswith("actions/checkout@") for u in uses), name
+        setup = next(
+            step
+            for step in _steps(job)
+            if step.get("uses", "").startswith("actions/setup-python@")
+        )
+        assert setup["with"]["cache"] == "pip", name
+
+
+def test_lint_job_runs_all_three_linters(workflow):
+    runs = _run_lines(workflow["jobs"]["lint"])
+    assert "python -m repro.devtools.lint src/repro" in runs
+    assert "ruff check" in runs
+    assert "mypy" in runs
+
+
+def test_test_job_matrix_covers_supported_pythons(workflow):
+    test = workflow["jobs"]["test"]
+    versions = test["strategy"]["matrix"]["python-version"]
+    assert versions == ["3.10", "3.11", "3.12"]
+    setup = next(
+        step
+        for step in _steps(test)
+        if step.get("uses", "").startswith("actions/setup-python@")
+    )
+    assert "matrix.python-version" in setup["with"]["python-version"]
+
+
+def test_test_job_runs_the_local_gate_script(workflow):
+    # The hosted gate and scripts/check.sh must stay one recipe.
+    assert "scripts/check.sh --ci" in _run_lines(workflow["jobs"]["test"])
+
+
+def test_test_job_uploads_junit_reports(workflow):
+    uploads = [
+        step
+        for step in _steps(workflow["jobs"]["test"])
+        if step.get("uses", "").startswith("actions/upload-artifact@")
+    ]
+    assert uploads and uploads[0]["with"]["path"] == "test-reports/"
+
+
+def test_bench_smoke_job_runs_bench_and_regression_gate(workflow):
+    runs = _run_lines(workflow["jobs"]["bench-smoke"])
+    assert "python -m repro bench --smoke --out BENCH_smoke.json" in runs
+    assert (
+        "python scripts/bench_compare.py BENCH_baseline.json BENCH_smoke.json"
+        in runs
+    )
+
+
+def test_bench_smoke_job_uploads_bench_telemetry(workflow):
+    uploads = [
+        step
+        for step in _steps(workflow["jobs"]["bench-smoke"])
+        if step.get("uses", "").startswith("actions/upload-artifact@")
+    ]
+    assert uploads and uploads[0]["with"]["path"] == "BENCH_*.json"
+    # Telemetry must be captured even when the regression gate fails.
+    assert uploads[0]["if"] == "always()"
+
+
+def test_ci_commands_reference_only_existing_paths(workflow):
+    root = Path(__file__).parent.parent
+    assert (root / "scripts" / "check.sh").is_file()
+    assert (root / "scripts" / "bench_compare.py").is_file()
+    assert (root / "BENCH_baseline.json").is_file()

@@ -19,6 +19,7 @@ from repro import (
 )
 from repro.analysis import DopeRegionAnalyzer, GridSweep
 from repro.analysis.export import meter_to_csv, records_to_csv
+from repro.obs import Recorder
 from repro.workloads import COLLA_FILT, K_MEANS, TEXT_CONT, get_type, uniform_mix
 
 ATTACK = uniform_mix((COLLA_FILT, K_MEANS))
@@ -103,16 +104,32 @@ def grid_rows_to_csv_bytes(rows) -> bytes:
 
 
 def test_grid_sweep_parallel_rows_byte_identical_to_serial():
-    """GridSweep over the Fig 11 grid: workers=4 == workers=1, byte-wise."""
+    """GridSweep over the Fig 11 grid: workers=4 == workers=1, byte-wise.
+
+    The runner's observation counters must obey the same equivalence:
+    cells/executed/retries/errors tallies are deterministic output, so
+    fanning out over 4 processes may not change a single count (wall
+    timings, by design, may and do differ).
+    """
     sweep = GridSweep(
         {
             "type_name": [t.name for t in REGION_TYPES],
             "rate_rps": list(REGION_RATES),
         }
     )
-    serial = sweep.run(region_probe, seeds=(REGION_SEED,), workers=1)
-    parallel = sweep.run(region_probe, seeds=(REGION_SEED,), workers=4)
+    rec_serial = Recorder()
+    rec_parallel = Recorder()
+    serial = sweep.run(
+        region_probe, seeds=(REGION_SEED,), workers=1, recorder=rec_serial
+    )
+    parallel = sweep.run(
+        region_probe, seeds=(REGION_SEED,), workers=4, recorder=rec_parallel
+    )
     assert grid_rows_to_csv_bytes(parallel) == grid_rows_to_csv_bytes(serial)
+    assert rec_parallel.counters.as_dict() == rec_serial.counters.as_dict()
+    assert rec_serial.counters.get("runner.cells_total") == len(REGION_TYPES) * len(
+        REGION_RATES
+    )
 
 
 def test_region_sweep_parallel_cells_byte_identical_to_serial():
