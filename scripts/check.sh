@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Repo health gate: domain lint, the runner test modules, a 2-worker
-# smoke sweep (exercises the process pool end to end), then the full
-# tier-1 test suite. Run from the repo root.
+# smoke sweep and a 2-worker chaos smoke (exercise the process pool and
+# the fault-injection layer end to end), then the full tier-1 test
+# suite. Run from the repo root.
 #
 #   scripts/check.sh              lint + runner tests + smoke sweep + suite
 #   scripts/check.sh --lint-only  just the linter (fast, <2 s)
@@ -45,6 +46,10 @@ python -m pytest $PYTEST_ARGS $JUNIT_RUNNER \
 
 echo "== 2-worker smoke sweep =="
 python -m repro sweep --types colla-filt --rates 60 --window 10 --workers 2
+
+echo "== 2-worker chaos smoke =="
+python -m repro chaos --smoke --workers 2 --out CHAOS_smoke.json
+rm -f CHAOS_smoke.json
 
 if [ "$MODE" = "--ci" ]; then
     echo "== smoke bench + baseline comparison =="

@@ -16,6 +16,7 @@ from typing import IO, Iterable, Mapping, Optional, Union
 from ..metrics.collector import MetricsCollector
 from ..metrics.latency import LatencyStats
 from ..network.request import CompletionRecord
+from ..obs import jsonable
 from ..power.meter import PowerMeter
 
 __all__ = [
@@ -107,13 +108,18 @@ def stats_to_json(
     target: PathOrFile,
     extra: Optional[Mapping[str, object]] = None,
 ) -> None:
-    """Serialise named latency summaries (plus optional metadata) as JSON."""
+    """Serialise named latency summaries (plus optional metadata) as JSON.
+
+    Empty-window statistics carry ``NaN`` fields; those serialise as
+    ``null`` (``NaN`` is not JSON), and ``allow_nan=False`` guarantees
+    no non-finite value can ever reach the output.
+    """
     payload: dict = {"latency": {k: v.as_millis() for k, v in stats.items()}}
     if extra:
         payload["meta"] = dict(extra)
     fh, owned = _open(target)
     try:
-        json.dump(payload, fh, indent=2, sort_keys=True)
+        json.dump(jsonable(payload), fh, indent=2, sort_keys=True, allow_nan=False)
         fh.write("\n")
     finally:
         if owned:
@@ -121,7 +127,11 @@ def stats_to_json(
 
 
 def collector_summary(collector: MetricsCollector) -> dict:
-    """One-shot JSON-ready summary of an entire collector."""
+    """One-shot JSON-ready summary of an entire collector.
+
+    The result is strictly JSON-representable: latency fields of a
+    class with zero completions come out as ``None``, never ``NaN``.
+    """
     from ..network.request import RequestOutcome
     from ..workloads.catalog import TrafficClass
 
@@ -138,4 +148,4 @@ def collector_summary(collector: MetricsCollector) -> dict:
             "outcomes": {k: v for k, v in outcomes.items() if v},
             "latency": LatencyStats.from_records(records).as_millis(),
         }
-    return summary
+    return jsonable(summary)

@@ -30,6 +30,7 @@ from typing import Dict, Tuple
 from ._version import __version__
 from .analysis import DopeRegionAnalyzer
 from .core import AntiDopeScheme
+from .faults import FaultInjector, FaultPlan
 from .obs import BENCH_SCHEMA_ID, Recorder, config_hash, validate_bench_payload
 from .power import BudgetLevel
 from .runner import ResultCache
@@ -114,6 +115,7 @@ class BenchPlan:
     region_types: Tuple[RequestType, ...]
     region_rates_rps: Tuple[float, ...]
     region_window_s: float
+    chaos_duration_s: float
 
 
 def plan_for(mode: str) -> BenchPlan:
@@ -126,6 +128,7 @@ def plan_for(mode: str) -> BenchPlan:
             region_types=REGION_TYPES[:2],
             region_rates_rps=REGION_RATES_RPS[:2],
             region_window_s=20.0,
+            chaos_duration_s=30.0,
         )
     if mode == "full":
         return BenchPlan(
@@ -135,6 +138,7 @@ def plan_for(mode: str) -> BenchPlan:
             region_types=REGION_TYPES,
             region_rates_rps=REGION_RATES_RPS,
             region_window_s=50.0,
+            chaos_duration_s=90.0,
         )
     raise ValueError(f"mode must be 'smoke' or 'full', got {mode!r}")
 
@@ -174,6 +178,8 @@ def run_bench(
             best = candidate
     recorder.counters.merge(best.counters)
     recorder.timers.merge(best.timers)
+
+    _chaos_scenario(cfg, plan, recorder)
 
     analyzer = DopeRegionAnalyzer(
         config=SimulationConfig(budget_level=BudgetLevel.MEDIUM, seed=seed),
@@ -245,6 +251,36 @@ def _attack_repetition(cfg: SimulationConfig, plan: BenchPlan) -> Recorder:
         )
         sim.run(plan.attack_duration_s)
     return recorder
+
+
+def _chaos_scenario(
+    cfg: SimulationConfig, plan: BenchPlan, recorder: Recorder
+) -> None:
+    """A short faulted run exercising the degradation paths.
+
+    Anti-DOPE under the flood with a mid-window server crash and meter
+    noise — small relative to the attack repetitions, but it keeps the
+    fault/degradation code on the measured path so a regression there
+    shows up in the bench counters and timings.
+    """
+    with recorder.timers.phase("bench.chaos_scenario"):
+        engine = EventEngine(obs=recorder)
+        sim = DataCenterSimulation(cfg, scheme=AntiDopeScheme(), engine=engine)
+        crash_at_s = plan.chaos_duration_s / 2.0
+        fault_plan = (
+            FaultPlan(seed=cfg.seed)
+            .meter_noise(ATTACK_START_S / 2.0, sigma_w=8.0)
+            .server_crash(crash_at_s, 0, plan.chaos_duration_s / 4.0)
+        )
+        FaultInjector(sim, fault_plan).arm()
+        sim.add_normal_traffic(rate_rps=NORMAL_RATE_RPS)
+        sim.add_flood(
+            mix=ATTACK_MIX,
+            rate_rps=ATTACK_RATE_RPS,
+            num_agents=20,
+            start_s=ATTACK_START_S / 2.0,
+        )
+        sim.run(plan.chaos_duration_s)
 
 
 def _engine_throughput(recorder: Recorder) -> float:

@@ -19,10 +19,16 @@ Three operator-facing commands wrap the library's main workflows:
     evaluation scenario plus a cold/warm region sweep and reports the
     counter table, wall timings and the event-throughput headline CI
     regression-checks.
+``chaos``
+    The fault-injection sweep (``repro-chaos/1`` JSON): the Table-2
+    scheme matrix re-run under a DOPE flood combined with server
+    crashes, meter faults and battery degradation, with drops
+    attributed to policy vs fault causes.
 
-All commands are deterministic per ``--seed``; ``sweep`` output is
-additionally byte-identical for any worker count, and ``bench``'s
-counter table (not its wall timings) is deterministic per seed.
+All commands are deterministic per ``--seed``; ``sweep`` and ``chaos``
+output is additionally byte-identical for any worker count, and
+``bench``'s counter table (not its wall timings) is deterministic per
+seed.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ from .analysis import DopeRegionAnalyzer, format_table
 from .bench import SEED as BENCH_SEED
 from .bench import run_bench
 from .core import AntiDopeScheme
+from .faults import run_chaos
 from .power import BudgetLevel, CappingScheme, ShavingScheme, TokenScheme
 from .runner import ResultCache
 from .sim import DataCenterSimulation, SimulationConfig
@@ -57,6 +64,7 @@ __all__ = [
     "cmd_attack",
     "cmd_sweep",
     "cmd_bench",
+    "cmd_chaos",
     "main",
 ]
 
@@ -181,6 +189,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--name", default=None, help="payload name (default: bench-<mode>)"
     )
     bench.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the JSON payload here (default: stdout)",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection scheme sweep (repro-chaos/1 JSON)",
+    )
+    _add_common(chaos)
+    chaos_mode = chaos.add_mutually_exclusive_group()
+    chaos_mode.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized chaos sweep (the default)",
+    )
+    chaos_mode.add_argument(
+        "--full",
+        action="store_true",
+        help="evaluation-sized sweep with the severe fault profile",
+    )
+    chaos.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial; output is identical either way)",
+    )
+    chaos.add_argument(
+        "--cache-dir",
+        default=None,
+        help="on-disk result cache; repeat sweeps reuse stored cells",
+    )
+    chaos.add_argument(
         "--out",
         default=None,
         metavar="PATH",
@@ -365,7 +407,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     mode = "full" if args.full else "smoke"
     name = args.name if args.name else f"bench-{mode}"
     payload = run_bench(mode=mode, seed=args.seed, name=name)
-    text = json.dumps(payload, indent=2, sort_keys=True)
+    text = json.dumps(payload, indent=2, sort_keys=True, allow_nan=False)
     if args.out:
         Path(args.out).write_text(text + "\n")
         headline = payload["headline"]
@@ -373,6 +415,28 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"wrote {args.out}  "
             f"({headline['metric']}={headline['value']:.0f})"  # type: ignore[index]
         )
+    else:
+        print(text)
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """``repro chaos`` — emit the fault-injection sweep payload."""
+    mode = "full" if args.full else "smoke"
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    payload = run_chaos(
+        mode=mode,
+        seed=args.seed,
+        budget=args.budget,
+        num_servers=args.servers,
+        workers=args.workers,
+        cache=cache,
+    )
+    text = json.dumps(payload, indent=2, sort_keys=True, allow_nan=False)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        cells = payload["cells"]
+        print(f"wrote {args.out}  ({len(cells)} cells)")  # type: ignore[arg-type]
     else:
         print(text)
     return 0
@@ -387,6 +451,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "attack": cmd_attack,
         "sweep": cmd_sweep,
         "bench": cmd_bench,
+        "chaos": cmd_chaos,
     }
     return handlers[args.command](args)
 

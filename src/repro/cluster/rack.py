@@ -114,6 +114,18 @@ class Rack:
         return sum(s.in_system for s in self.servers)
 
     # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def healthy_servers(self) -> List[Server]:
+        """Servers currently able to accept traffic."""
+        return [s for s in self.servers if s.healthy]
+
+    @property
+    def num_healthy(self) -> int:
+        """Count of healthy servers."""
+        return sum(1 for s in self.servers if s.healthy)
+
+    # ------------------------------------------------------------------
     # Bulk DVFS operations
     # ------------------------------------------------------------------
     def set_all_levels(self, level: int) -> None:

@@ -31,6 +31,7 @@ from .power_model import ServerPowerModel
 __all__ = ["Server"]
 
 CompletionSink = Callable[[Request, RequestOutcome, float], None]
+ShedSink = Callable[[Request], None]
 
 
 class _ActiveEntry:
@@ -100,6 +101,7 @@ class Server:
 
         self.level = self.ladder.max_level
         self.powered_on = True
+        self.failed = False
         self._queue: Deque[Request] = deque()
         self._active: Dict[int, _ActiveEntry] = {}
 
@@ -112,6 +114,7 @@ class Server:
         self.completed = 0
         self.rejected = 0
         self.timed_out = 0
+        self.crashes = 0
 
     # ------------------------------------------------------------------
     # State inspection
@@ -137,6 +140,11 @@ class Server:
         return len(self._queue) + len(self._active)
 
     @property
+    def healthy(self) -> bool:
+        """True when the server can accept traffic (powered on, not crashed)."""
+        return self.powered_on and not self.failed
+
+    @property
     def freq_ratio(self) -> float:
         """Current ``f / f_max``."""
         return self.ladder.ratio(self.level)
@@ -147,8 +155,8 @@ class Server:
         return self.ladder.frequency(self.level)
 
     def current_power(self) -> float:
-        """Instantaneous power draw in watts (zero when powered off)."""
-        if not self.powered_on:
+        """Instantaneous power draw in watts (zero when off or crashed)."""
+        if not self.powered_on or self.failed:
             return 0.0
         self._obs.counters.inc("cluster.power_model_evals")
         return self.power_model.power(
@@ -175,7 +183,7 @@ class Server:
         full; the caller is responsible for recording the drop outcome.
         """
         request.server_id = self.server_id
-        if not self.powered_on:
+        if not self.powered_on or self.failed:
             self.rejected += 1
             return False
         if len(self._active) < self.num_workers:
@@ -290,6 +298,64 @@ class Server:
             )
         self._accrue()
         self.powered_on = on
+
+    # ------------------------------------------------------------------
+    # Faults
+    # ------------------------------------------------------------------
+    def fail(self, shed_sink: Optional[ShedSink] = None) -> None:
+        """Crash the server (fault injection).
+
+        In-service requests are lost: their departure events are
+        cancelled and each is reported as ``FAILED_SERVER`` — both the
+        completion sink and the request's ``on_terminal`` fire, so
+        closed-loop clients observe the failure instead of deadlocking.
+        Queued requests have done no work yet; they are handed to
+        *shed_sink* (the NLB re-route path) when given, and reported as
+        ``FAILED_SERVER`` otherwise.  Idempotent.
+        """
+        if self.failed:
+            return
+        # Charge energy/busy time at the pre-crash power level first.
+        self._accrue()
+        self.failed = True
+        self.crashes += 1
+        self._obs.counters.inc("cluster.server_failures")
+        now = self.engine.now
+        lost = []
+        for entry in self._active.values():
+            entry.event.cancel()
+            lost.append(entry.request)
+        self._active.clear()
+        shed = list(self._queue)
+        self._queue.clear()
+        for request in lost:
+            self._obs.counters.inc("cluster.requests_lost_to_crash")
+            self._terminate(request, RequestOutcome.FAILED_SERVER, now)
+        for request in shed:
+            if shed_sink is not None:
+                self._obs.counters.inc("cluster.requests_shed_to_nlb")
+                shed_sink(request)
+            else:
+                self._obs.counters.inc("cluster.requests_lost_to_crash")
+                self._terminate(request, RequestOutcome.FAILED_SERVER, now)
+
+    def recover(self) -> None:
+        """Return a crashed server to service (empty, at its set level)."""
+        if not self.failed:
+            return
+        # Downtime accrues at zero power.
+        self._accrue()
+        self.failed = False
+        self._obs.counters.inc("cluster.server_recoveries")
+
+    def _terminate(
+        self, request: Request, outcome: RequestOutcome, now: float
+    ) -> None:
+        """Report a terminal *outcome* to both sinks."""
+        if self.completion_sink is not None:
+            self.completion_sink(request, outcome, now)
+        if request.on_terminal is not None:
+            request.on_terminal(request, outcome, now)
 
     def step_down(self, steps: int = 1) -> None:
         """Lower frequency by *steps* ladder positions."""

@@ -69,14 +69,25 @@ class ServerThermalModel:
         self.tau = float(tau_s)
         self.t_inlet = float(t_inlet_c)
         self.temperature_c = self.t_inlet
-        self._last_t = 0.0
+        # Anchored lazily on the first advance() so that a model created
+        # when the engine clock is already past zero (start_time_s > 0,
+        # or a monitor attached mid-run) does not integrate a phantom
+        # warm-up interval [0, now) at the current power.
+        self._last_t: Optional[float] = None
 
     def steady_state_c(self, power_w: float) -> float:
         """Temperature the die converges to at constant *power_w*."""
         return self.t_inlet + power_w * self.r_th
 
     def advance(self, now: float, power_w: float) -> float:
-        """Advance the RC state to *now* assuming *power_w* since last call."""
+        """Advance the RC state to *now* assuming *power_w* since last call.
+
+        The first call only anchors the integration clock — there is no
+        earlier observation to integrate from.
+        """
+        if self._last_t is None:
+            self._last_t = now
+            return self.temperature_c
         dt = now - self._last_t
         if dt > 0:
             t_ss = self.steady_state_c(power_w)

@@ -124,6 +124,9 @@ class AntiDopeScheme(PowerManagementScheme):
             battery=battery if self.use_battery_transition else None,
             planner=DPMPlanner(rack.ladder.max_level, self.hysteresis),
             slot_s=slot_s,
+            # RPM plans against the scheme's perceived power so an
+            # attached (possibly faulty) sensor degrades it too.
+            power_reader=self.current_power,
         )
 
     def forwarding_policy(self, servers: Sequence[Server]) -> PDFPolicy:

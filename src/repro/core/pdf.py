@@ -89,15 +89,33 @@ class PDFPolicy:
 
         The *servers* argument (the NLB's full pool) is ignored in
         favour of the pools fixed at construction: the carve-out must
-        stay consistent with the power manager's view.
+        stay consistent with the power manager's view.  Crashed servers
+        are skipped; when a pool is entirely dead the request fails over
+        to the other pool's survivors (isolation is worth less than
+        availability), and the NLB's retry path handles a fully-dead
+        rack before this policy ever sees the request.
         """
         if self.suspect_list.is_suspect(request.url):
+            pool = self._alive(self.suspect_pool, self.innocent_pool)
             self.suspect_forwarded += 1
             self._obs.counters.inc("network.pdf_suspect_forwarded")
-            return self._suspect_rr.select(request, self.suspect_pool)
+            return self._suspect_rr.select(request, pool)
+        pool = self._alive(self.innocent_pool, self.suspect_pool)
         self.innocent_forwarded += 1
         self._obs.counters.inc("network.pdf_innocent_forwarded")
-        return self._innocent_rr.select(request, self.innocent_pool)
+        return self._innocent_rr.select(request, pool)
+
+    def _alive(
+        self, preferred: Sequence[Server], fallback: Sequence[Server]
+    ) -> Sequence[Server]:
+        """Healthy members of *preferred*, else failover to *fallback*."""
+        if all(s.healthy for s in preferred):
+            return preferred
+        alive = [s for s in preferred if s.healthy]
+        if alive:
+            return alive
+        self._obs.counters.inc("network.pdf_failover_forwarded")
+        return [s for s in fallback if s.healthy]
 
     @property
     def suspect_server_ids(self) -> List[int]:

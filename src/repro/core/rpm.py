@@ -53,6 +53,7 @@ class RPMStats:
     violations: int = 0
     reconfigurations: int = 0
     infeasible_slots: int = 0
+    degraded_slots: int = 0
     decisions: List[RPMDecision] = field(default_factory=list)
 
 
@@ -74,6 +75,11 @@ class RequestAwarePowerManager:
         Control-slot length in seconds.
     recharge_headroom_fraction:
         Fraction of spare headroom offered to the battery per slot.
+    power_reader:
+        Optional override for the power observation used by control —
+        the Anti-DOPE scheme passes its (possibly sensor-degraded)
+        ``current_power`` so RPM plans against what the meter reports,
+        not omniscient truth.  ``None`` keeps the exact pool sum.
     """
 
     def __init__(
@@ -85,6 +91,7 @@ class RequestAwarePowerManager:
         planner: Optional[DPMPlanner] = None,
         slot_s: float = 1.0,
         recharge_headroom_fraction: float = 0.5,
+        power_reader: Optional[Callable[[], float]] = None,
     ) -> None:
         if not suspect_pool or not innocent_pool:
             raise ValueError("both pools must be non-empty")
@@ -98,6 +105,7 @@ class RequestAwarePowerManager:
         self.planner = planner or DPMPlanner(ladder.max_level)
         self.slot_s = float(slot_s)
         self.recharge_headroom_fraction = recharge_headroom_fraction
+        self.power_reader = power_reader
         self.stats = RPMStats()
 
     # ------------------------------------------------------------------
@@ -108,6 +116,11 @@ class RequestAwarePowerManager:
         ratio = ladder.ratio(ladder.clamp(level))
         total = 0.0
         for server in pool:
+            if not server.healthy:
+                # Crashed/powered-off servers draw nothing and will not
+                # respond to DVFS — predicting them at idle would bias
+                # the planner toward needless extra throttling.
+                continue
             types = (e.request.rtype for e in server._active.values())
             total += server.power_model.power(types, ratio)
         return total
@@ -128,18 +141,39 @@ class RequestAwarePowerManager:
     # Control
     # ------------------------------------------------------------------
     def step(self, now: float) -> RPMDecision:
-        """One control slot; returns the decision record."""
-        power_w = self.current_power()
+        """One control slot; returns the decision record.
+
+        When servers have crashed out of a pool the slot is *degraded*:
+        planning proceeds over the healthy survivors (a fully-dead pool
+        contributes zero power and its level defaults to the ladder
+        top), and the slot is counted in ``stats.degraded_slots``.
+        """
+        if self.power_reader is not None:
+            power_w = self.power_reader()
+        else:
+            power_w = self.current_power()
         deficit = self.budget.deficit(power_w)
         self.stats.slots += 1
         if deficit > 0:
             self.stats.violations += 1
 
+        suspect_alive = [s for s in self.suspect_pool if s.healthy]
+        innocent_alive = [s for s in self.innocent_pool if s.healthy]
+        if len(suspect_alive) < len(self.suspect_pool) or len(
+            innocent_alive
+        ) < len(self.innocent_pool):
+            self.stats.degraded_slots += 1
+
+        ladder = self.suspect_pool[0].ladder
         plan = self.planner.plan(
             self.budget.supply_w,
             self.predict,
-            current_suspect_level=min(s.level for s in self.suspect_pool),
-            current_innocent_level=min(s.level for s in self.innocent_pool),
+            current_suspect_level=min(
+                (s.level for s in suspect_alive), default=ladder.max_level
+            ),
+            current_innocent_level=min(
+                (s.level for s in innocent_alive), default=ladder.max_level
+            ),
         )
         if not plan.feasible:
             self.stats.infeasible_slots += 1
@@ -173,14 +207,14 @@ class RequestAwarePowerManager:
         return decision
 
     def _apply(self, plan: ThrottlePlan) -> bool:
-        """Actuate the plan; returns True when any level changed."""
+        """Actuate the plan on healthy servers; True when any changed."""
         changed = False
         for server in self.suspect_pool:
-            if server.level != plan.suspect_level:
+            if server.healthy and server.level != plan.suspect_level:
                 server.set_level(plan.suspect_level)
                 changed = True
         for server in self.innocent_pool:
-            if server.level != plan.innocent_level:
+            if server.healthy and server.level != plan.innocent_level:
                 server.set_level(plan.innocent_level)
                 changed = True
         return changed

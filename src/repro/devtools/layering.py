@@ -46,6 +46,7 @@ _PLAIN_PACKAGES = frozenset(
         "devtools",
         "runner",
         "obs",
+        "faults",
     }
 )
 
@@ -102,6 +103,26 @@ ALLOWED_IMPORTS: Dict[str, FrozenSet[str]] = {
         }
     ),
     "analysis": frozenset(
+        {
+            "validation",
+            "version",
+            "obs",
+            "runner",
+            "sim.kernel",
+            "trace",
+            "workloads.catalog",
+            "workloads",
+            "network",
+            "cluster",
+            "power",
+            "metrics",
+            "core",
+            "sim",
+        }
+    ),
+    # The chaos layer drives whole simulations through the runner, so it
+    # sits beside analysis at the top of the library stack.
+    "faults": frozenset(
         {
             "validation",
             "version",

@@ -1,0 +1,31 @@
+"""repro.faults — deterministic fault injection and chaos sweeps.
+
+The graceful-degradation layer: seeded :class:`FaultPlan` schedules of
+typed faults (server crash, PDU trip, meter dropout/stale/noise,
+battery fade/stuck), a :class:`FaultInjector` that arms them through
+the event engine, and :func:`run_chaos` — the Table-2 scheme matrix
+re-run with the infrastructure misbehaving, through the parallel
+cached experiment runner.
+"""
+
+from .chaos import (
+    CHAOS_SCHEMA_ID,
+    CHAOS_SCHEMES,
+    chaos_cell,
+    run_chaos,
+    validate_chaos_payload,
+)
+from .injector import FaultInjector
+from .plan import FaultEvent, FaultKind, FaultPlan
+
+__all__ = [
+    "FaultKind",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "CHAOS_SCHEMA_ID",
+    "CHAOS_SCHEMES",
+    "chaos_cell",
+    "run_chaos",
+    "validate_chaos_payload",
+]

@@ -1,0 +1,285 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is the *schedule* half of the chaos layer: a typed,
+seeded list of :class:`FaultEvent` saying what breaks, when, for how
+long.  Plans are pure data — building one touches no simulator state —
+so the same plan can be armed against any simulation, compared across
+schemes, serialised into chaos payloads, and hashed for byte-identity
+tests (:meth:`FaultPlan.signature`).
+
+Two construction styles:
+
+* **explicit schedule** — chain the builder methods
+  (:meth:`~FaultPlan.server_crash`, :meth:`~FaultPlan.meter_noise`, …)
+  to script a scenario;
+* **hazard-rate draw** — :meth:`FaultPlan.from_hazard` samples crash
+  and meter-fault arrivals from exponential inter-arrival times on a
+  dedicated seeded stream (never the wall clock), for randomised but
+  reproducible chaos.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from .._validation import (
+    check_fraction,
+    check_int,
+    check_non_negative,
+    check_positive,
+)
+
+__all__ = [
+    "FaultKind",
+    "FaultEvent",
+    "FaultPlan",
+]
+
+#: SeedSequence spawn key isolating the hazard-draw stream from every
+#: other consumer of the plan seed (the injector's noise stream uses 1).
+_HAZARD_STREAM = 0
+
+
+class FaultKind(enum.Enum):
+    """The typed faults the injector knows how to apply."""
+
+    SERVER_CRASH = "server_crash"
+    PDU_TRIP = "pdu_trip"
+    METER_DROPOUT = "meter_dropout"
+    METER_STALE = "meter_stale"
+    METER_NOISE = "meter_noise"
+    BATTERY_FADE = "battery_fade"
+    BATTERY_STUCK = "battery_stuck"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``target`` is a server index for server-scoped kinds and ``-1`` for
+    rack/infrastructure-wide ones; ``params`` carries the kind-specific
+    knobs (durations, noise levels, fade fractions).
+    """
+
+    time_s: float
+    kind: FaultKind
+    target: int = -1
+    params: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (kind reduced to its string value)."""
+        return {
+            "time_s": self.time_s,
+            "kind": self.kind.value,
+            "target": self.target,
+            "params": dict(sorted(self.params.items())),
+        }
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, ordered fault schedule.
+
+    Parameters
+    ----------
+    seed:
+        Master seed of the plan.  It keys both the hazard draw (when
+        :meth:`from_hazard` built the plan) and the injector's
+        measurement-noise stream, so one integer pins every random
+        aspect of a chaos run.
+    events:
+        The schedule; builder methods append and return ``self`` for
+        chaining.
+    """
+
+    seed: int = 0
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        check_int("seed", self.seed, minimum=0)
+
+    # ------------------------------------------------------------------
+    # Builders (chainable)
+    # ------------------------------------------------------------------
+    def server_crash(
+        self, time_s: float, server_id: int, duration_s: float
+    ) -> "FaultPlan":
+        """Crash one server at *time_s*; it recovers after *duration_s*."""
+        check_non_negative("time_s", time_s)
+        check_int("server_id", server_id, minimum=0)
+        check_positive("duration_s", duration_s)
+        self.events.append(
+            FaultEvent(
+                time_s=time_s,
+                kind=FaultKind.SERVER_CRASH,
+                target=server_id,
+                params={"duration_s": duration_s},
+            )
+        )
+        return self
+
+    def pdu_trip(self, time_s: float, duration_s: float) -> "FaultPlan":
+        """Trip the rack's branch circuit: every server fails at once."""
+        check_non_negative("time_s", time_s)
+        check_positive("duration_s", duration_s)
+        self.events.append(
+            FaultEvent(
+                time_s=time_s,
+                kind=FaultKind.PDU_TRIP,
+                params={"duration_s": duration_s},
+            )
+        )
+        return self
+
+    def meter_dropout(self, time_s: float, duration_s: float) -> "FaultPlan":
+        """Power meter returns nothing for *duration_s* seconds."""
+        check_non_negative("time_s", time_s)
+        check_positive("duration_s", duration_s)
+        self.events.append(
+            FaultEvent(
+                time_s=time_s,
+                kind=FaultKind.METER_DROPOUT,
+                params={"duration_s": duration_s},
+            )
+        )
+        return self
+
+    def meter_stale(self, time_s: float, duration_s: float) -> "FaultPlan":
+        """Power meter repeats its *time_s* reading for *duration_s*."""
+        check_non_negative("time_s", time_s)
+        check_positive("duration_s", duration_s)
+        self.events.append(
+            FaultEvent(
+                time_s=time_s,
+                kind=FaultKind.METER_STALE,
+                params={"duration_s": duration_s},
+            )
+        )
+        return self
+
+    def meter_noise(
+        self, time_s: float, sigma_w: float, bias_w: float = 0.0
+    ) -> "FaultPlan":
+        """From *time_s* on, add Gaussian noise/bias to meter reads."""
+        check_non_negative("time_s", time_s)
+        check_non_negative("sigma_w", sigma_w)
+        self.events.append(
+            FaultEvent(
+                time_s=time_s,
+                kind=FaultKind.METER_NOISE,
+                params={"sigma_w": sigma_w, "bias_w": bias_w},
+            )
+        )
+        return self
+
+    def battery_fade(self, time_s: float, fraction: float) -> "FaultPlan":
+        """Scale battery capacity by *fraction* at *time_s*."""
+        check_non_negative("time_s", time_s)
+        check_positive("fraction", fraction)
+        check_fraction("fraction", fraction)
+        self.events.append(
+            FaultEvent(
+                time_s=time_s,
+                kind=FaultKind.BATTERY_FADE,
+                params={"fraction": fraction},
+            )
+        )
+        return self
+
+    def battery_stuck(self, time_s: float, duration_s: float) -> "FaultPlan":
+        """Freeze the battery at its SoC for *duration_s* seconds."""
+        check_non_negative("time_s", time_s)
+        check_positive("duration_s", duration_s)
+        self.events.append(
+            FaultEvent(
+                time_s=time_s,
+                kind=FaultKind.BATTERY_STUCK,
+                params={"duration_s": duration_s},
+            )
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # Hazard-rate construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_hazard(
+        cls,
+        seed: int,
+        duration_s: float,
+        num_servers: int,
+        crash_rate_hz: float = 1.0 / 120.0,
+        mean_outage_s: float = 20.0,
+        meter_fault_rate_hz: float = 0.0,
+        mean_meter_fault_s: float = 10.0,
+    ) -> "FaultPlan":
+        """Sample a plan from exponential inter-arrival hazards.
+
+        Crash arrivals are a Poisson process of rate *crash_rate_hz*
+        over ``[0, duration_s)``; each picks a uniform victim server and
+        an exponential outage of mean *mean_outage_s*.  When
+        *meter_fault_rate_hz* is nonzero, meter faults arrive the same
+        way, alternating dropout and stale windows of mean
+        *mean_meter_fault_s*.  All draws come from one
+        ``SeedSequence([seed, 0])`` stream in a fixed order, so the same
+        arguments always yield the same plan.
+        """
+        check_positive("duration_s", duration_s)
+        check_int("num_servers", num_servers, minimum=1)
+        check_non_negative("crash_rate_hz", crash_rate_hz)
+        check_positive("mean_outage_s", mean_outage_s)
+        check_non_negative("meter_fault_rate_hz", meter_fault_rate_hz)
+        check_positive("mean_meter_fault_s", mean_meter_fault_s)
+        rng = np.random.default_rng(
+            np.random.SeedSequence([seed, _HAZARD_STREAM])
+        )
+        plan = cls(seed=seed)
+        if crash_rate_hz > 0.0:
+            t = float(rng.exponential(1.0 / crash_rate_hz))
+            while t < duration_s:
+                victim = int(rng.integers(0, num_servers))
+                outage_s = max(1e-3, float(rng.exponential(mean_outage_s)))
+                plan.server_crash(t, victim, outage_s)
+                t += float(rng.exponential(1.0 / crash_rate_hz))
+        if meter_fault_rate_hz > 0.0:
+            stale = False
+            t = float(rng.exponential(1.0 / meter_fault_rate_hz))
+            while t < duration_s:
+                window_s = max(
+                    1e-3, float(rng.exponential(mean_meter_fault_s))
+                )
+                if stale:
+                    plan.meter_stale(t, window_s)
+                else:
+                    plan.meter_dropout(t, window_s)
+                stale = not stale
+                t += float(rng.exponential(1.0 / meter_fault_rate_hz))
+        return plan
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form of the whole plan."""
+        return {
+            "seed": self.seed,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    def signature(self) -> str:
+        """Canonical JSON of the plan — the byte-identity test anchor."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = [event.kind.value for event in self.events]
+        return f"FaultPlan(seed={self.seed}, events={kinds})"

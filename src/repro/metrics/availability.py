@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from .._validation import check_positive
-from ..network.request import CompletionRecord, RequestOutcome
+from ..network.request import FAULT_OUTCOMES, CompletionRecord, RequestOutcome
 
 __all__ = [
     "AvailabilityReport",
@@ -31,6 +31,10 @@ class AvailabilityReport:
     served_late: int
     dropped: int
     sla_s: float
+    #: Drops caused by injected infrastructure faults (server crash,
+    #: no healthy backend) — a subset of ``dropped``, kept separate so
+    #: chaos runs can tell policy rejections from fault losses.
+    dropped_fault: int = 0
 
     @property
     def availability(self) -> float:
@@ -43,6 +47,11 @@ class AvailabilityReport:
         return self.dropped / self.offered if self.offered else 0.0
 
     @property
+    def dropped_policy(self) -> int:
+        """Drops attributable to policy (firewall/token/queue), not faults."""
+        return self.dropped - self.dropped_fault
+
+    @property
     def goodput_fraction(self) -> float:
         """Fraction served at all (late or not)."""
         if not self.offered:
@@ -50,10 +59,11 @@ class AvailabilityReport:
         return (self.served_within_sla + self.served_late) / self.offered
 
     def __str__(self) -> str:
+        fault = f" [{self.dropped_fault} fault]" if self.dropped_fault else ""
         return (
             f"availability={self.availability * 100:.1f}% "
             f"(offered={self.offered}, in-SLA={self.served_within_sla}, "
-            f"late={self.served_late}, dropped={self.dropped}, "
+            f"late={self.served_late}, dropped={self.dropped}{fault}, "
             f"SLA={self.sla_s * 1e3:.0f}ms)"
         )
 
@@ -73,7 +83,7 @@ def availability(
         Response-time deadline in seconds.
     """
     check_positive("sla_s", sla_s)
-    offered = in_sla = late = dropped = 0
+    offered = in_sla = late = dropped = dropped_fault = 0
     for record in records:
         offered += 1
         if record.outcome is RequestOutcome.COMPLETED:
@@ -83,10 +93,13 @@ def availability(
                 late += 1
         else:
             dropped += 1
+            if record.outcome in FAULT_OUTCOMES:
+                dropped_fault += 1
     return AvailabilityReport(
         offered=offered,
         served_within_sla=in_sla,
         served_late=late,
         dropped=dropped,
         sla_s=sla_s,
+        dropped_fault=dropped_fault,
     )

@@ -13,7 +13,12 @@ from typing import Callable, Iterable, List, Optional
 
 import numpy as np
 
-from ..network.request import CompletionRecord, Request, RequestOutcome
+from ..network.request import (
+    FAULT_OUTCOMES,
+    CompletionRecord,
+    Request,
+    RequestOutcome,
+)
 from ..workloads.catalog import TrafficClass
 
 __all__ = ["MetricsCollector"]
@@ -100,6 +105,32 @@ class MetricsCollector:
         ):
             counts[r.outcome] += 1
         return counts
+
+    def drop_attribution(
+        self,
+        traffic_class: Optional[TrafficClass] = None,
+        start_s: Optional[float] = None,
+        end_s: Optional[float] = None,
+    ) -> dict:
+        """Split drops into policy-caused vs fault-caused counts.
+
+        Policy drops are deliberate rejections (firewall, token bucket,
+        queue overflow/timeout); fault drops are losses the chaos layer
+        inflicted (server crash mid-service, no healthy backend).  The
+        distinction keeps "the scheme shed load" separate from "the
+        infrastructure failed" in chaos-run reports.
+        """
+        policy = fault = 0
+        for r in self.filtered(
+            traffic_class=traffic_class, start_s=start_s, end_s=end_s
+        ):
+            if r.outcome is RequestOutcome.COMPLETED:
+                continue
+            if r.outcome in FAULT_OUTCOMES:
+                fault += 1
+            else:
+                policy += 1
+        return {"dropped_policy": policy, "dropped_fault": fault}
 
     def total(self, traffic_class: Optional[TrafficClass] = None) -> int:
         """Number of matching records."""

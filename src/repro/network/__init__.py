@@ -6,20 +6,23 @@ from .load_balancer import (
     LeastLoadedPolicy,
     NetworkLoadBalancer,
     RandomPolicy,
+    RetryPolicy,
     RoundRobinPolicy,
 )
-from .request import CompletionRecord, Request, RequestOutcome
+from .request import FAULT_OUTCOMES, CompletionRecord, Request, RequestOutcome
 from .sources import SourcePool, SourceRegistry
 
 __all__ = [
     "Request",
     "RequestOutcome",
+    "FAULT_OUTCOMES",
     "CompletionRecord",
     "SourcePool",
     "SourceRegistry",
     "RateLimitFirewall",
     "NullFirewall",
     "NetworkLoadBalancer",
+    "RetryPolicy",
     "RoundRobinPolicy",
     "LeastLoadedPolicy",
     "RandomPolicy",

@@ -13,11 +13,12 @@ shaping — the Token scheme's power token bucket is one.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, List, Optional, Protocol, Sequence
 
 import numpy as np
 
-from .._validation import require
+from .._validation import check_int, check_non_negative, check_positive, require
 from ..obs import Recorder
 from .firewall import RateLimitFirewall
 from .request import Request, RequestOutcome
@@ -28,6 +29,7 @@ __all__ = [
     "LeastLoadedPolicy",
     "RandomPolicy",
     "AdmissionFilter",
+    "RetryPolicy",
     "NetworkLoadBalancer",
 ]
 
@@ -35,6 +37,32 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..cluster.server import Server
 
 DropSink = Callable[[Request, RequestOutcome, float], None]
+#: ``scheduler(delay_s, callback)`` — defer a callback (engine.schedule).
+Scheduler = Callable[[float, Callable[[], None]], object]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff for requests with no healthy backend.
+
+    Attempt *k* (0-based) is retried after
+    ``min(base_delay_s * 2**k, max_delay_s)`` seconds; after
+    ``max_attempts`` retries the request is dropped as
+    ``DROPPED_NO_BACKEND``.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.1
+    max_delay_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_int("max_attempts", self.max_attempts, minimum=0)
+        check_positive("base_delay_s", self.base_delay_s)
+        check_non_negative("max_delay_s", self.max_delay_s)
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff delay before retry number *attempt* (0-based)."""
+        return min(self.base_delay_s * (2.0 ** attempt), self.max_delay_s)
 
 
 class ForwardingPolicy(Protocol):
@@ -108,6 +136,14 @@ class NetworkLoadBalancer:
     obs:
         Observation context counters are recorded into; defaults to a
         private recorder (the simulation facade passes the engine's).
+    retry_policy:
+        Backoff policy for requests that find no healthy backend
+        (crashed or powered-off servers are skipped in rotation).
+        Retries need a *scheduler*; without one the request is dropped
+        immediately as ``DROPPED_NO_BACKEND``.
+    scheduler:
+        ``scheduler(delay_s, callback)`` used to defer retries — the
+        simulation facade passes ``engine.schedule``.
     """
 
     def __init__(
@@ -119,6 +155,8 @@ class NetworkLoadBalancer:
         drop_sink: Optional[DropSink] = None,
         now: Optional[Callable[[], float]] = None,
         obs: Optional[Recorder] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        scheduler: Optional[Scheduler] = None,
     ) -> None:
         require(len(servers) > 0, "NLB needs at least one backend")
         self.servers: List[Server] = list(servers)
@@ -128,15 +166,26 @@ class NetworkLoadBalancer:
         self.drop_sink = drop_sink
         self._now = now or (lambda: 0.0)
         self._obs = obs if obs is not None else Recorder()
+        self.retry_policy = retry_policy
+        self._scheduler = scheduler
         self.forwarded = 0
         self.dropped = 0
+        self.rerouted = 0
+
+    def _healthy_servers(self) -> List[Server]:
+        """Backends currently in rotation (fast path: everyone healthy)."""
+        for server in self.servers:
+            if not server.healthy:
+                return [s for s in self.servers if s.healthy]
+        return self.servers
 
     def dispatch(self, request: Request) -> bool:
         """Run *request* through the ingress pipeline.
 
         Returns ``True`` when the request reached a server queue.  Every
         rejection is reported to ``drop_sink`` with the pipeline stage
-        that caused it.
+        that caused it; a request deferred for retry returns ``False``
+        without a terminal event (it is still in flight).
         """
         now = self._now()
         if self.firewall is not None and not self.firewall.admit(
@@ -149,13 +198,50 @@ class NetworkLoadBalancer:
         ):
             self._drop(request, RequestOutcome.DROPPED_TOKEN, now)
             return False
-        server = self.policy.select(request, self.servers)
+        return self._forward(request, now)
+
+    def reroute(self, request: Request) -> bool:
+        """Re-enter an already-admitted request (server-crash shed path).
+
+        Skips the firewall and the admission filter — the request paid
+        those tolls on first entry; losing its server is not a reason to
+        charge them again.
+        """
+        self.rerouted += 1
+        self._obs.counters.inc("network.nlb_rerouted")
+        return self._forward(request, self._now())
+
+    def _forward(self, request: Request, now: float) -> bool:
+        """Select a healthy backend and submit; retry/drop when none."""
+        healthy = self._healthy_servers()
+        if not healthy:
+            return self._retry_or_drop(request, now)
+        server = self.policy.select(request, healthy)
         if not server.submit(request):
             self._drop(request, RequestOutcome.DROPPED_QUEUE_FULL, now)
             return False
         self.forwarded += 1
         self._obs.counters.inc("network.nlb_forwarded")
         return True
+
+    def _retry_or_drop(self, request: Request, now: float) -> bool:
+        """Back off and retry when allowed; otherwise a fault drop."""
+        policy = self.retry_policy
+        if (
+            policy is not None
+            and self._scheduler is not None
+            and request.retries < policy.max_attempts
+        ):
+            attempt = request.retries
+            request.retries += 1
+            self._obs.counters.inc("network.nlb_retries")
+            self._scheduler(
+                policy.delay_for(attempt),
+                lambda r=request: self._forward(r, self._now()),
+            )
+            return False
+        self._drop(request, RequestOutcome.DROPPED_NO_BACKEND, now)
+        return False
 
     def _drop(self, request: Request, outcome: RequestOutcome, now: float) -> None:
         self.dropped += 1

@@ -18,6 +18,7 @@ from ..workloads.catalog import RequestType, TrafficClass
 
 __all__ = [
     "RequestOutcome",
+    "FAULT_OUTCOMES",
     "Request",
     "CompletionRecord",
 ]
@@ -33,6 +34,18 @@ class RequestOutcome(enum.Enum):
     DROPPED_TOKEN = "dropped_token"
     DROPPED_QUEUE_FULL = "dropped_queue_full"
     TIMED_OUT = "timed_out"
+    #: In-service work lost to a server crash (fault-induced).
+    FAILED_SERVER = "failed_server"
+    #: No healthy backend remained after the NLB's retry budget (fault-induced).
+    DROPPED_NO_BACKEND = "dropped_no_backend"
+
+
+#: Outcomes caused by injected infrastructure faults rather than policy
+#: decisions — the metrics layer attributes these separately so that
+#: availability curves under chaos scenarios stay honest.
+FAULT_OUTCOMES = frozenset(
+    {RequestOutcome.FAILED_SERVER, RequestOutcome.DROPPED_NO_BACKEND}
+)
 
 
 class Request:
@@ -61,6 +74,7 @@ class Request:
         "start_service_time_s",
         "remaining_work",
         "server_id",
+        "retries",
         "on_terminal",
     )
 
@@ -89,6 +103,8 @@ class Request:
         # stretch the in-flight requests correctly.
         self.remaining_work: float = 0.0
         self.server_id: Optional[int] = None
+        # NLB re-dispatch attempts consumed (crash re-route path).
+        self.retries: int = 0
         # Optional callback fired once at the request's terminal event
         # (completion or any drop).  Closed-loop clients use it to learn
         # when to issue their next request.

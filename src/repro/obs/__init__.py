@@ -33,6 +33,7 @@ from .manifest import (
     validate_bench_payload,
 )
 from .recorder import Recorder
+from .sanitize import jsonable
 from .timers import WallTimers
 
 __all__ = [
@@ -43,5 +44,6 @@ __all__ = [
     "BENCH_SCHEMA_ID",
     "config_hash",
     "deterministic_hash",
+    "jsonable",
     "validate_bench_payload",
 ]

@@ -1,0 +1,35 @@
+"""JSON sanitisation: make result payloads strictly JSON-representable.
+
+Latency summaries over an empty completion window carry ``NaN`` fields
+(the honest in-memory representation of "no sample"), but ``NaN`` and
+the infinities are **not** JSON — ``json.dump`` only emits them via a
+non-standard extension that downstream parsers reject.  Every exporter
+in the package therefore runs its payload through :func:`jsonable`
+(non-finite floats become ``null``) and passes ``allow_nan=False`` so a
+regression cannot slip through silently.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Union
+
+__all__ = ["jsonable"]
+
+Jsonable = Union[None, bool, int, float, str, list, tuple, dict]
+
+
+def jsonable(value: Jsonable) -> Optional[Jsonable]:
+    """Recursively replace non-finite floats with ``None``.
+
+    Dicts, lists and tuples are rebuilt (tuples become lists, matching
+    what ``json.dump`` would do anyway); every other value passes
+    through unchanged.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    return value

@@ -58,6 +58,8 @@ class Battery:
         self.absorbed_grid_j = 0.0
         self.discharge_cycles = 0
         self._was_discharging = False
+        # Degradation state (chaos layer): a stuck BMS ignores commands.
+        self.stuck = False
 
     @classmethod
     def for_rack(
@@ -109,6 +111,31 @@ class Battery:
         return min(self.max_discharge_w, self.soc_j / dt)
 
     # ------------------------------------------------------------------
+    # Degradation (driven by the fault injector)
+    # ------------------------------------------------------------------
+    def set_stuck(self, stuck: bool) -> None:
+        """Freeze (or release) the battery at its current state of charge.
+
+        A stuck battery-management system accepts neither charge nor
+        discharge commands — :meth:`discharge` and :meth:`charge` return
+        0.0 — so schemes relying on shaving see the store silently
+        refuse to help.
+        """
+        self.stuck = bool(stuck)
+
+    def apply_capacity_fade(self, fraction: float) -> None:
+        """Scale usable capacity by *fraction* (0 < fraction ≤ 1).
+
+        Models ageing/thermal derating: the cell holds less than it was
+        sized for.  Stored energy above the new ceiling is clamped away.
+        """
+        check_positive("fraction", fraction)
+        check_fraction("fraction", fraction)
+        self.capacity_j *= float(fraction)
+        if self.soc_j > self.capacity_j:
+            self.soc_j = self.capacity_j
+
+    # ------------------------------------------------------------------
     # Flows
     # ------------------------------------------------------------------
     def discharge(self, power_w: float, dt: float) -> float:
@@ -119,7 +146,7 @@ class Battery:
         """
         check_non_negative("power_w", power_w)
         check_positive("dt", dt)
-        if power_w <= 0 or self.empty:
+        if self.stuck or power_w <= 0 or self.empty:
             self._was_discharging = False
             return 0.0
         delivered_w = min(power_w, self.max_discharge_w, self.soc_j / dt)
@@ -143,7 +170,7 @@ class Battery:
         check_non_negative("power_w", power_w)
         check_positive("dt", dt)
         self._was_discharging = False
-        if power_w <= 0 or self.full:
+        if self.stuck or power_w <= 0 or self.full:
             return 0.0
         room_w = (self.capacity_j - self.soc_j) / (dt * self.efficiency)
         accepted_w = min(power_w, self.max_charge_w, room_w)

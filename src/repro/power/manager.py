@@ -12,8 +12,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional, Sequence
 
+from .._validation import check_positive
 from .battery import Battery
 from .budget import PowerBudget
+from .sensor import SensorReading
 
 __all__ = [
     "PowerManagementScheme",
@@ -26,6 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..cluster.server import Server
     from ..network.load_balancer import AdmissionFilter, ForwardingPolicy
     from ..sim.engine import EventEngine
+    from .sensor import FaultyPowerSensor
 
 
 class PowerManagementScheme:
@@ -47,6 +50,10 @@ class PowerManagementScheme:
         self.battery: Optional[Battery] = None
         self.slot_s: float = 1.0
         self.bound = False
+        # Optional faultable sensing path (chaos layer); None = exact.
+        self.power_sensor: Optional[FaultyPowerSensor] = None
+        self.staleness_bound_s: float = 5.0
+        self._last_good_reading: Optional[SensorReading] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -116,10 +123,49 @@ class PowerManagementScheme:
         if not self.bound:
             raise RuntimeError(f"scheme {self.name!r} used before bind()")
 
+    def attach_power_sensor(
+        self, sensor: "FaultyPowerSensor", staleness_bound_s: float = 5.0
+    ) -> None:
+        """Route :meth:`current_power` through *sensor*.
+
+        The degradation contract: an ``ok`` reading refreshes the
+        last-known-good value; a missing (dropout) or old (stale) reading
+        is answered with last-known-good while its age stays within
+        *staleness_bound_s*; beyond the bound the scheme must assume the
+        worst case — full rack nameplate — which forces a throttle
+        rather than letting a blind controller exceed the budget.
+        """
+        check_positive("staleness_bound_s", staleness_bound_s)
+        self.power_sensor = sensor
+        self.staleness_bound_s = float(staleness_bound_s)
+        self._last_good_reading = None
+
     def current_power(self) -> float:
-        """Instantaneous rack power."""
+        """Instantaneous rack power as the scheme perceives it.
+
+        Exact (``rack.total_power()``) without an attached sensor;
+        otherwise the sensed value under the bounded-staleness contract
+        of :meth:`attach_power_sensor`.
+        """
         self._require_bound()
-        return self.rack.total_power()
+        if self.power_sensor is None:
+            return self.rack.total_power()
+        return self._sensed_power()
+
+    def _sensed_power(self) -> float:
+        """Sensor path with last-known-good / worst-case fallbacks."""
+        now = self.engine.now
+        reading = self.power_sensor.read(now)
+        counters = self.engine.obs.counters
+        if reading.ok:
+            self._last_good_reading = reading
+        last = self._last_good_reading
+        if last is not None and now - last.time_s <= self.staleness_bound_s:
+            if not reading.ok:
+                counters.inc("power.sensor_stale_fallbacks")
+            return last.power_w
+        counters.inc("power.sensor_worst_case_fallbacks")
+        return self.rack.nameplate_w
 
     def deficit(self) -> float:
         """Watts above budget right now (zero when compliant)."""

@@ -99,10 +99,15 @@ class ShavingScheme(UniformCappingMixin, PowerManagementScheme):
                 battery_w = topup_w
                 level = self.apply_uniform_cap(self.budget.supply_w + topup_w)
         else:
-            headroom = self.budget.headroom(power_w)
-            battery.charge(
-                headroom * self.recharge_headroom_fraction, self.slot_s
-            )
-            # Recover performance when power is back under budget.
+            # Recover performance first, then offer the battery only the
+            # headroom that remains *after* the DVFS raise.  Charging
+            # against the pre-raise (possibly deeply throttled) power
+            # reading would commit a grid draw that, added to the raised
+            # rack power, pushes the slot over budget.
             level = self.apply_uniform_cap(self.budget.supply_w)
+            headroom = max(0.0, self.budget.headroom(self.current_power()))
+            charge_w = min(
+                headroom * self.recharge_headroom_fraction, headroom
+            )
+            battery.charge(charge_w, self.slot_s)
         self.decisions.append((self.engine.now, deficit, battery_w, level))

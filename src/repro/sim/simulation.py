@@ -31,7 +31,11 @@ from ..metrics.collector import MetricsCollector
 from ..metrics.energy import EnergyAccountant, EnergyReport
 from ..metrics.latency import LatencyStats
 from ..network.firewall import NullFirewall, RateLimitFirewall
-from ..network.load_balancer import NetworkLoadBalancer, RoundRobinPolicy
+from ..network.load_balancer import (
+    NetworkLoadBalancer,
+    RetryPolicy,
+    RoundRobinPolicy,
+)
 from ..network.sources import SourceRegistry
 from ..obs import Recorder, RunManifest, config_hash
 from ..power.battery import Battery
@@ -130,6 +134,8 @@ class DataCenterSimulation:
             drop_sink=self.collector.sink,
             now=lambda: self.engine.now,
             obs=self.engine.obs,
+            retry_policy=RetryPolicy(),
+            scheduler=self.engine.schedule,
         )
 
         self.meter = PowerMeter(

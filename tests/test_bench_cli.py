@@ -134,6 +134,7 @@ def test_bench_cli_smoke_emits_schema_valid_json(tmp_path, capsys):
     phase_names = {phase["name"] for phase in payload["phases"]}
     assert phase_names == {
         "bench.attack_scenario",
+        "bench.chaos_scenario",
         "bench.region_sweep_cold",
         "bench.region_sweep_warm",
     }

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.faults import validate_chaos_payload
 
 
 class TestParser:
@@ -127,3 +130,35 @@ class TestSweepCommand:
         assert "4 hit(s)" in second
         # Everything above the cache-stat line is byte-identical.
         assert first.rsplit("cache:", 1)[0] == second.rsplit("cache:", 1)[0]
+
+
+class TestChaosCommand:
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.command == "chaos"
+        assert args.workers == 1
+        assert not args.full
+        assert args.out is None
+
+    def test_smoke_and_full_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--smoke", "--full"])
+
+    def test_chaos_smoke_writes_valid_payload(self, capsys, tmp_path):
+        out = tmp_path / "chaos.json"
+        code = main(["chaos", "--smoke", "--seed", "4", "--out", str(out)])
+        assert code == 0
+        assert "4 cells" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert validate_chaos_payload(payload) == []
+        assert payload["schema"] == "repro-chaos/1"
+        assert sorted(c["scheme"] for c in payload["cells"]) == [
+            "anti-dope",
+            "capping",
+            "shaving",
+            "token",
+        ]
+        for cell in payload["cells"]:
+            assert cell["dropped"] == (
+                cell["dropped_policy"] + cell["dropped_fault"]
+            )

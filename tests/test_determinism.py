@@ -9,6 +9,7 @@ ones.  This is the regression test that backs that guarantee.
 
 import csv
 import io
+import json
 
 from repro import (
     AntiDopeScheme,
@@ -19,6 +20,7 @@ from repro import (
 )
 from repro.analysis import DopeRegionAnalyzer, GridSweep
 from repro.analysis.export import meter_to_csv, records_to_csv
+from repro.faults import run_chaos, validate_chaos_payload
 from repro.obs import Recorder
 from repro.workloads import COLLA_FILT, K_MEANS, TEXT_CONT, get_type, uniform_mix
 
@@ -143,3 +145,25 @@ def test_region_sweep_parallel_cells_byte_identical_to_serial():
     parallel = analyzer.sweep(REGION_TYPES, REGION_RATES, workers=4)
     assert repr(parallel.as_rows()) == repr(serial.as_rows())
     assert [c.zone for c in parallel.cells] == [c.zone for c in serial.cells]
+
+
+def test_chaos_parallel_cells_byte_identical_to_serial():
+    """run_chaos: the faulted scheme matrix is worker-count invariant.
+
+    Fault schedules, injected-fault tallies, and fault-vs-policy drop
+    attribution are deterministic output, so the whole payload — and the
+    merged runner counters — must be byte-identical between a serial run
+    and a 4-process fan-out.
+    """
+    rec_serial = Recorder()
+    rec_parallel = Recorder()
+    serial = run_chaos(mode="smoke", seed=5, workers=1, recorder=rec_serial)
+    parallel = run_chaos(mode="smoke", seed=5, workers=4, recorder=rec_parallel)
+    dump = lambda payload: json.dumps(  # noqa: E731
+        payload, sort_keys=True, allow_nan=False
+    ).encode()
+    assert dump(parallel) == dump(serial)
+    assert rec_parallel.counters.as_dict() == rec_serial.counters.as_dict()
+    assert validate_chaos_payload(serial) == []
+    cell = serial["cells"][0]
+    assert cell["faults_injected"]["server_crash"] >= 1

@@ -79,10 +79,15 @@ class TestStatsJSON:
     def test_empty_stats_serialisable(self, tmp_path):
         buf = io.StringIO()
         stats_to_json({"empty": LatencyStats.from_times([])}, buf)
-        buf.seek(0)
-        payload = json.load(buf)
-        # NaNs serialise as JSON NaN tokens accepted by json.load.
-        assert payload["latency"]["empty"]["count"] == 0
+        text = buf.getvalue()
+        # Regression: empty-window NaN moments must become JSON nulls,
+        # never bare NaN tokens (which strict parsers reject).
+        assert "NaN" not in text
+        payload = json.loads(text)
+        empty = payload["latency"]["empty"]
+        assert empty["count"] == 0
+        assert empty["mean_ms"] is None
+        assert empty["p90_ms"] is None
 
 
 class TestCollectorSummary:

@@ -96,6 +96,32 @@ class TestRecharge:
         scheme.step()
         assert battery.soc_j < soc_before
 
+    def test_recharge_never_pushes_grid_draw_over_budget(self, engine, rack):
+        # Regression: the charge offer must come from the headroom that
+        # remains *after* the DVFS raise.  Worst case is the greediest
+        # recharge (fraction=1.0) on a drained battery while the rack
+        # sits throttled well below budget: the raise reclaims most of
+        # the apparent headroom, so charging against the pre-raise
+        # figure would overdraw the feed by ~max_charge_w.
+        battery = Battery.for_rack(
+            rack.nameplate_w, sustain_s=120.0, efficiency=0.9
+        )
+        battery.soc_j = 0.0
+        scheme, battery = bind(
+            engine,
+            rack,
+            supply_w=320.0,
+            battery=battery,
+            recharge_headroom_fraction=1.0,
+        )
+        load_rack(rack)
+        rack.set_all_levels(0)  # throttled leftover from an earlier slot
+        before_j = battery.absorbed_grid_j
+        scheme.step()
+        charge_w = (battery.absorbed_grid_j - before_j) / scheme.slot_s
+        grid_w = rack.total_power() + charge_w
+        assert grid_w <= 320.0 + 1e-6
+
 
 class TestValidation:
     def test_requires_battery(self, engine, rack):

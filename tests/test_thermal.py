@@ -26,20 +26,32 @@ class TestRCModel:
 
     def test_exponential_approach(self):
         model = ServerThermalModel(r_th_c_per_w=0.5, tau_s=60.0, t_inlet_c=25.0)
+        model.advance(0.0, power_w=100.0)  # anchor the clock
         model.advance(60.0, power_w=100.0)  # one time constant
         expected = 75.0 + (25.0 - 75.0) * math.exp(-1.0)
         assert model.temperature_c == pytest.approx(expected)
 
     def test_converges_to_steady_state(self):
         model = ServerThermalModel(r_th_c_per_w=0.5, tau_s=10.0, t_inlet_c=25.0)
+        model.advance(0.0, power_w=100.0)
         model.advance(1000.0, power_w=100.0)
         assert model.temperature_c == pytest.approx(75.0, abs=0.01)
 
     def test_cools_down_when_power_drops(self):
         model = ServerThermalModel(r_th_c_per_w=0.5, tau_s=10.0, t_inlet_c=25.0)
+        model.advance(0.0, power_w=100.0)
         model.advance(1000.0, power_w=100.0)
         model.advance(2000.0, power_w=0.0)
         assert model.temperature_c == pytest.approx(25.0, abs=0.01)
+
+    def test_first_advance_only_anchors(self):
+        # Regression: a model created while the clock is already past
+        # zero must not integrate a phantom [0, now) warm-up interval.
+        model = ServerThermalModel(r_th_c_per_w=0.5, tau_s=10.0, t_inlet_c=25.0)
+        model.advance(500.0, power_w=100.0)
+        assert model.temperature_c == 25.0
+        model.advance(1500.0, power_w=100.0)
+        assert model.temperature_c == pytest.approx(75.0, abs=0.01)
 
     def test_zero_dt_is_noop(self):
         model = ServerThermalModel()
