@@ -5,7 +5,8 @@
 # suite. Run from the repo root.
 #
 #   scripts/check.sh              lint + runner tests + smoke sweep + suite
-#   scripts/check.sh --lint-only  just the linter (fast, <2 s)
+#   scripts/check.sh --lint-only  just the full REP001-REP012 rule set
+#                                 (fast, well under 10 s)
 #   scripts/check.sh --ci         the same gate, non-interactive: junit
 #                                 XML under test-reports/, plus the
 #                                 smoke bench + baseline comparison
@@ -30,8 +31,8 @@ if [ "$MODE" = "--ci" ]; then
     JUNIT_TIER1="--junitxml=test-reports/tier1.xml"
 fi
 
-echo "== repro.devtools.lint src/repro =="
-python -m repro.devtools.lint src/repro
+echo "== repro lint src/repro (REP001-REP012) =="
+python -m repro lint src/repro --baseline lint-baseline.json
 
 if [ "$MODE" = "--lint-only" ]; then
     exit 0

@@ -24,6 +24,10 @@ Three operator-facing commands wrap the library's main workflows:
     scheme matrix re-run under a DOPE flood combined with server
     crashes, meter faults and battery degradation, with drops
     attributed to policy vs fault causes.
+``lint``
+    The domain-aware static analysis suite (REP001–REP012): unit
+    dataflow, determinism races, layering and the obs/faults contract
+    registries, with text/JSON/SARIF output and a baseline workflow.
 
 All commands are deterministic per ``--seed``; ``sweep`` and ``chaos``
 output is additionally byte-identical for any worker count, and
@@ -41,6 +45,7 @@ from typing import List, Optional, Sequence
 
 from .analysis import DopeRegionAnalyzer, format_table
 from .bench import SEED as BENCH_SEED
+from .devtools import lint as devtools_lint
 from .bench import run_bench
 from .core import AntiDopeScheme
 from .faults import run_chaos
@@ -65,6 +70,7 @@ __all__ = [
     "cmd_sweep",
     "cmd_bench",
     "cmd_chaos",
+    "cmd_lint",
     "main",
 ]
 
@@ -228,6 +234,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the JSON payload here (default: stdout)",
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="domain-aware static analysis (REP rules, SARIF, baselines)",
+    )
+    devtools_lint.configure_parser(lint)
 
     return parser
 
@@ -442,6 +454,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """``repro lint`` — run the static analysis suite."""
+    return devtools_lint.run(args)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -452,6 +469,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": cmd_sweep,
         "bench": cmd_bench,
         "chaos": cmd_chaos,
+        "lint": cmd_lint,
     }
     return handlers[args.command](args)
 

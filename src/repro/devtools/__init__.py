@@ -13,14 +13,20 @@ layering DAG itself forbids it) — it is a development tool, not a
 runtime dependency.
 """
 
-from . import rules as _rules  # noqa: F401  (importing registers the rules)
+from . import dataflow as _dataflow  # noqa: F401  (importing registers the rules)
+from . import reachability as _reachability  # noqa: F401
+from . import registries as _registries  # noqa: F401
+from . import rules as _rules  # noqa: F401
 from .engine import (
     Finding,
     ModuleInfo,
+    ProjectInfo,
+    ProjectRule,
     Rule,
     build_rules,
     lint_module,
     lint_paths,
+    lint_project,
     lint_source,
     load_module,
     register,
@@ -33,7 +39,9 @@ from .layering import ALLOWED_IMPORTS, node_for, validate_layering
 __all__ = [
     "Finding",
     "ModuleInfo",
+    "ProjectInfo",
     "Rule",
+    "ProjectRule",
     "register",
     "registered_rules",
     "build_rules",
@@ -41,6 +49,7 @@ __all__ = [
     "lint_module",
     "lint_source",
     "lint_paths",
+    "lint_project",
     "render_text",
     "render_json",
     "ALLOWED_IMPORTS",

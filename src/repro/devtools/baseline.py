@@ -1,0 +1,102 @@
+"""Finding baselines: adopt the linter without stopping the line.
+
+A new rule usually lands with pre-existing findings the team has
+judged acceptable (documented false positives, debt scheduled for its
+own PR).  A *baseline file* records those as fingerprints; the lint
+then fails only on findings **not** in the baseline, so new debt is
+blocked while old debt is visible but non-fatal.
+
+Fingerprints are ``(path, rule, message)`` — deliberately excluding
+the line and column so that unrelated edits that merely shift a
+baselined finding up or down the file do not resurrect it.  Two
+identical messages from the same rule in the same file collapse to one
+fingerprint; that is the right behavior for the suppress-or-fix
+decision the baseline encodes.
+
+The file format is versioned JSON with sorted entries, so regenerating
+it (``--write-baseline``) produces a minimal, reviewable diff.  The
+intended steady state of this repo is an **empty** baseline — every
+entry carries a ``# why`` obligation in review.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence, Set, Tuple
+
+from .engine import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "fingerprint",
+    "load_baseline",
+    "render_baseline",
+    "unbaselined",
+]
+
+#: Format version stamped into every baseline file.
+BASELINE_VERSION = 1
+
+Fingerprint = Tuple[str, str, str]
+
+
+def fingerprint(finding: Finding) -> Fingerprint:
+    """Stable identity of a finding: path, rule and message (no line)."""
+    return (finding.path.replace("\\", "/"), finding.rule, finding.message)
+
+
+def load_baseline(text: str) -> Set[Fingerprint]:
+    """Parse baseline file *text* into a set of fingerprints.
+
+    Raises ``ValueError`` on malformed documents (wrong version, wrong
+    shape) — a silently-ignored baseline would un-suppress everything
+    or, worse, suppress nothing while appearing to work.
+    """
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline is not valid JSON: {exc}") from None
+    if not isinstance(document, dict):
+        raise ValueError("baseline root must be a JSON object")
+    version = document.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {version!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    entries = document.get("findings")
+    if not isinstance(entries, list):
+        raise ValueError("baseline 'findings' must be a list")
+    fingerprints: Set[Fingerprint] = set()
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise ValueError("baseline entries must be objects")
+        try:
+            path, rule, message = entry["path"], entry["rule"], entry["message"]
+        except KeyError as exc:
+            raise ValueError(f"baseline entry missing key {exc}") from None
+        if not all(isinstance(v, str) for v in (path, rule, message)):
+            raise ValueError("baseline entry fields must be strings")
+        fingerprints.add((path.replace("\\", "/"), rule, message))
+    return fingerprints
+
+
+def render_baseline(findings: Sequence[Finding]) -> str:
+    """Serialize *findings* as a baseline document (sorted, versioned)."""
+    entries = sorted({fingerprint(f) for f in findings})
+    document = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"path": path, "rule": rule, "message": message}
+            for path, rule, message in entries
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def unbaselined(
+    findings: Sequence[Finding], baseline: Set[Fingerprint]
+) -> List[Finding]:
+    """The findings that are *not* covered by *baseline* (sorted order
+    preserved) — the set the lint exit status is computed from."""
+    return [f for f in findings if fingerprint(f) not in baseline]

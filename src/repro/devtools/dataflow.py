@@ -1,0 +1,461 @@
+"""REP009 — intra-procedural dimensional dataflow analysis.
+
+REP003 checks one identifier at a time: a quantity-named variable must
+carry a unit suffix.  REP009 is the strictly stronger dataflow check:
+it runs a small abstract interpreter over every function body (and over
+module/class constant blocks), where the abstract value of an
+expression is its *unit dimension* — power, energy, time, frequency,
+rate, dimensionless, or unknown (see :mod:`repro.devtools.dimensions`).
+
+Dimensions enter the environment from unit suffixes on parameter and
+variable names, from string unit tags inside annotations, and from
+iterating suffixed sequences; they propagate through arithmetic via the
+dimension algebra (``W × s → J``, ``J / s → W``, scalar literals are
+transparent under ``*``/``/``).  The rule flags the places where two
+*known but different* dimensions meet:
+
+* ``+`` / ``-`` / augmented assignment between mixed dimensions
+  (``power_w + energy_j`` — the Table-2 bug class);
+* ordering/equality comparisons and ``min``/``max`` over mixed
+  dimensions;
+* assigning an expression of one dimension to a name whose suffix
+  declares another (``energy_j = power_w``), and dimension-changing
+  reassignment of an unsuffixed local;
+* passing a value of one dimension to a keyword parameter whose name is
+  suffixed with another (``run(duration_s=peak_power_w)``);
+* conditional expressions whose branches carry different dimensions.
+
+``rate`` and ``frequency`` are treated as compatible (both inverse
+time), and *unknown never fires* — the analysis abstains rather than
+guesses.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from .dimensions import (
+    DIMENSIONLESS,
+    FREQUENCY,
+    RATE,
+    UNKNOWN,
+    combine_div,
+    combine_mul,
+    dimension_of_annotation,
+    dimension_of_name,
+)
+from .engine import Finding, ModuleInfo, Rule, register
+
+__all__ = ["DimensionalDataflowRule"]
+
+AnyFunctionDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Calls whose result carries the common dimension of their arguments
+#: (and whose *mixed* arguments therefore indicate a comparison or
+#: aggregation across incompatible units).
+_HOMOGENEOUS_CALLS = frozenset({"min", "max", "abs", "sum", "fsum"})
+
+
+def _compatible(left: str, right: str) -> bool:
+    """True when two known dimensions may legally meet in +/-/compare."""
+    if left == right:
+        return True
+    return {left, right} == {RATE, FREQUENCY}
+
+
+def _snippet(node: ast.AST, limit: int = 40) -> str:
+    """Short source rendering of *node* for finding messages."""
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse failure on exotic AST
+        text = f"<{type(node).__name__}>"
+    return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+class _FunctionAnalysis:
+    """Abstract interpretation of one straight-line scope."""
+
+    def __init__(self, rule: "DimensionalDataflowRule", module: ModuleInfo) -> None:
+        self.rule = rule
+        self.module = module
+        self.env: Dict[str, str] = {}
+        self.findings: List[Finding] = []
+
+    # -- environment ---------------------------------------------------
+
+    def seed_params(self, node: AnyFunctionDef) -> None:
+        args = node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            dimension = dimension_of_name(arg.arg)
+            if dimension is UNKNOWN:
+                dimension = dimension_of_annotation(arg.annotation)
+            if dimension is not UNKNOWN:
+                self.env[arg.arg] = dimension
+
+    def _bind(self, name: str, dimension: Optional[str]) -> None:
+        if dimension is UNKNOWN:
+            self.env.pop(name, None)
+        else:
+            self.env[name] = dimension
+
+    # -- findings ------------------------------------------------------
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append(self.rule.finding(self.module, node, message))
+
+    # -- statement walk ------------------------------------------------
+
+    def run_block(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self.run_stmt(stmt)
+
+    def run_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes get their own analysis pass
+        if isinstance(stmt, ast.Assign):
+            value_dim = self.eval(stmt.value)
+            for target in stmt.targets:
+                self.assign(target, stmt.value, value_dim)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value_dim = self.eval(stmt.value)
+                if value_dim is UNKNOWN:
+                    value_dim = dimension_of_annotation(stmt.annotation)
+                    self.assign(stmt.target, stmt.value, value_dim, check=False)
+                else:
+                    self.assign(stmt.target, stmt.value, value_dim)
+        elif isinstance(stmt, ast.AugAssign):
+            self.aug_assign(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.eval(stmt.value)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test)
+            self.run_block(stmt.body)
+            self.run_block(stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_dim = self.eval(stmt.iter)
+            self.bind_loop_target(stmt.target, stmt.iter, iter_dim)
+            self.run_block(stmt.body)
+            self.run_block(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test)
+            self.run_block(stmt.body)
+            self.run_block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self.eval(item.context_expr)
+            self.run_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.run_block(stmt.body)
+            for handler in stmt.handlers:
+                self.run_block(handler.body)
+            self.run_block(stmt.orelse)
+            self.run_block(stmt.finalbody)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+
+    def assign(
+        self,
+        target: ast.AST,
+        value: ast.AST,
+        value_dim: Optional[str],
+        check: bool = True,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            name = target.attr
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            if isinstance(value, (ast.Tuple, ast.List)) and len(value.elts) == len(
+                target.elts
+            ):
+                for sub_target, sub_value in zip(target.elts, value.elts):
+                    self.assign(sub_target, sub_value, self.eval(sub_value))
+            return
+        else:
+            return
+
+        declared = dimension_of_name(name)
+        if check and value_dim is not UNKNOWN:
+            if declared is not UNKNOWN and not _compatible(declared, value_dim):
+                self._flag(
+                    target,
+                    f"assigning a {value_dim} expression "
+                    f"({_snippet(value)}) to {name!r}, which is "
+                    f"unit-suffixed as {declared}",
+                )
+            elif declared is UNKNOWN and isinstance(target, ast.Name):
+                previous = self.env.get(name)
+                if previous is not None and not _compatible(previous, value_dim):
+                    self._flag(
+                        target,
+                        f"reassigning {name!r} from {previous} to "
+                        f"{value_dim} ({_snippet(value)}); one local, "
+                        "one dimension",
+                    )
+        if isinstance(target, ast.Name):
+            self._bind(name, declared if declared is not UNKNOWN else value_dim)
+
+    def aug_assign(self, stmt: ast.AugAssign) -> None:
+        target_dim = self.eval(stmt.target)
+        value_dim = self.eval(stmt.value)
+        if isinstance(stmt.op, (ast.Add, ast.Sub)):
+            if (
+                target_dim is not UNKNOWN
+                and value_dim is not UNKNOWN
+                and not _compatible(target_dim, value_dim)
+            ):
+                self._flag(
+                    stmt,
+                    f"augmented {_snippet(stmt.target)} "
+                    f"({target_dim}) with a {value_dim} value "
+                    f"({_snippet(stmt.value)})",
+                )
+        elif isinstance(stmt.op, (ast.Mult, ast.Div)):
+            combine = combine_mul if isinstance(stmt.op, ast.Mult) else combine_div
+            result = combine(target_dim, self.scalar_aware(stmt.value, value_dim))
+            if isinstance(stmt.target, ast.Name):
+                self.assign(stmt.target, stmt.value, result, check=True)
+
+    def bind_loop_target(
+        self, target: ast.AST, iterable: ast.AST, iter_dim: Optional[str]
+    ) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        declared = dimension_of_name(target.id)
+        if (
+            declared is not UNKNOWN
+            and iter_dim is not UNKNOWN
+            and not _compatible(declared, iter_dim)
+        ):
+            self._flag(
+                target,
+                f"loop variable {target.id!r} ({declared}) iterates a "
+                f"{iter_dim} sequence ({_snippet(iterable)})",
+            )
+        self._bind(target.id, declared if declared is not UNKNOWN else iter_dim)
+
+    # -- expression evaluation -----------------------------------------
+
+    @staticmethod
+    def scalar_aware(node: ast.AST, dimension: Optional[str]) -> Optional[str]:
+        """Numeric literals are transparent scalars under ``*`` and ``/``."""
+        if (
+            dimension is UNKNOWN
+            and isinstance(node, ast.Constant)
+            and isinstance(node.value, (int, float))
+            and not isinstance(node.value, bool)
+        ):
+            return DIMENSIONLESS
+        return dimension
+
+    def eval(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            declared = dimension_of_name(node.id)
+            if declared is not UNKNOWN:
+                return declared
+            return self.env.get(node.id, UNKNOWN)
+        if isinstance(node, ast.Attribute):
+            self.eval(node.value)
+            return dimension_of_name(node.attr)
+        if isinstance(node, ast.Subscript):
+            self.eval(node.slice)
+            return self.eval(node.value)
+        if isinstance(node, ast.UnaryOp):
+            operand = self.eval(node.operand)
+            return operand if isinstance(node.op, (ast.UAdd, ast.USub)) else UNKNOWN
+        if isinstance(node, ast.NamedExpr):
+            value_dim = self.eval(node.value)
+            self.assign(node.target, node.value, value_dim)
+            return value_dim
+        if isinstance(node, ast.BinOp):
+            return self.eval_binop(node)
+        if isinstance(node, ast.Compare):
+            return self.eval_compare(node)
+        if isinstance(node, ast.Call):
+            return self.eval_call(node)
+        if isinstance(node, ast.IfExp):
+            return self.eval_ifexp(node)
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self.eval(value)
+            return UNKNOWN
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for element in node.elts:
+                self.eval(element)
+            return UNKNOWN
+        if isinstance(node, ast.Dict):
+            for value in node.values:
+                if value is not None:
+                    self.eval(value)
+            return UNKNOWN
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self.eval_comprehension(node)
+        return UNKNOWN
+
+    def eval_binop(self, node: ast.BinOp) -> Optional[str]:
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if (
+                left is not UNKNOWN
+                and right is not UNKNOWN
+                and not _compatible(left, right)
+            ):
+                verb = "adding" if isinstance(node.op, ast.Add) else "subtracting"
+                self._flag(
+                    node,
+                    f"{verb} mixed dimensions: {_snippet(node.left)} "
+                    f"({left}) and {_snippet(node.right)} ({right})",
+                )
+                return UNKNOWN
+            return left if left is not UNKNOWN else right
+        if isinstance(node.op, ast.Mult):
+            return combine_mul(
+                self.scalar_aware(node.left, left),
+                self.scalar_aware(node.right, right),
+            )
+        if isinstance(node.op, (ast.Div, ast.FloorDiv)):
+            return combine_div(
+                self.scalar_aware(node.left, left),
+                self.scalar_aware(node.right, right),
+            )
+        return UNKNOWN
+
+    def eval_compare(self, node: ast.Compare) -> Optional[str]:
+        operands = [node.left] + list(node.comparators)
+        dims = [self.eval(operand) for operand in operands]
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)):
+                continue
+            left, right = dims[index], dims[index + 1]
+            if (
+                left is not UNKNOWN
+                and right is not UNKNOWN
+                and not _compatible(left, right)
+            ):
+                self._flag(
+                    node,
+                    f"comparing mixed dimensions: "
+                    f"{_snippet(operands[index])} ({left}) vs "
+                    f"{_snippet(operands[index + 1])} ({right})",
+                )
+        return UNKNOWN
+
+    def eval_call(self, node: ast.Call) -> Optional[str]:
+        func_name = None
+        if isinstance(node.func, ast.Name):
+            func_name = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            func_name = node.func.attr
+            self.eval(node.func.value)
+
+        arg_dims = [self.eval(arg) for arg in node.args]
+        for keyword in node.keywords:
+            if keyword.value is None:  # pragma: no cover - defensive
+                continue
+            value_dim = self.eval(keyword.value)
+            if keyword.arg is None:
+                continue
+            declared = dimension_of_name(keyword.arg)
+            if (
+                declared is not UNKNOWN
+                and value_dim is not UNKNOWN
+                and not _compatible(declared, value_dim)
+            ):
+                self._flag(
+                    keyword.value,
+                    f"passing a {value_dim} value "
+                    f"({_snippet(keyword.value)}) to keyword "
+                    f"{keyword.arg!r}, which is unit-suffixed as {declared}",
+                )
+
+        if func_name in _HOMOGENEOUS_CALLS:
+            known = [d for d in arg_dims if d is not UNKNOWN]
+            distinct = sorted(set(known))
+            if len(distinct) > 1 and not (
+                len(distinct) == 2 and _compatible(distinct[0], distinct[1])
+            ):
+                self._flag(
+                    node,
+                    f"{func_name}() over mixed dimensions "
+                    f"({', '.join(distinct)}): {_snippet(node)}",
+                )
+                return UNKNOWN
+            return known[0] if known else UNKNOWN
+        return UNKNOWN
+
+    def eval_ifexp(self, node: ast.IfExp) -> Optional[str]:
+        self.eval(node.test)
+        body = self.eval(node.body)
+        orelse = self.eval(node.orelse)
+        if (
+            body is not UNKNOWN
+            and orelse is not UNKNOWN
+            and not _compatible(body, orelse)
+        ):
+            self._flag(
+                node,
+                f"conditional branches carry different dimensions: "
+                f"{_snippet(node.body)} ({body}) vs "
+                f"{_snippet(node.orelse)} ({orelse})",
+            )
+            return UNKNOWN
+        return body if body is not UNKNOWN else orelse
+
+    def eval_comprehension(
+        self, node: Union[ast.ListComp, ast.SetComp, ast.GeneratorExp]
+    ) -> Optional[str]:
+        for generator in node.generators:
+            iter_dim = self.eval(generator.iter)
+            self.bind_loop_target(generator.target, generator.iter, iter_dim)
+            for condition in generator.ifs:
+                self.eval(condition)
+        return self.eval(node.elt)
+
+
+@register
+class DimensionalDataflowRule(Rule):
+    """REP009: unit dimensions must stay consistent through dataflow.
+
+    An abstract interpreter assigns each local a dimension (power,
+    energy, time, frequency, rate, dimensionless) inferred from unit
+    suffixes, annotations and the dimension algebra, then flags
+    mixed-dimension ``+``/``-``/comparisons, dimension-changing
+    (re)assignments, and mixed keyword bindings.  ``W × s → J``-class
+    products are legal by construction; anything the algebra cannot
+    justify is *unknown* and never flagged.
+    """
+
+    rule_id = "REP009"
+    summary = "mixed unit dimensions in dataflow (add/sub/compare/assign)"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for scope, params in self._scopes(module.tree):
+            analysis = _FunctionAnalysis(self, module)
+            if params is not None:
+                analysis.seed_params(params)
+            analysis.run_block(scope)
+            yield from analysis.findings
+
+    @staticmethod
+    def _scopes(
+        tree: ast.Module,
+    ) -> Iterator[Tuple[List[ast.stmt], Optional[AnyFunctionDef]]]:
+        """Every straight-line scope: module body, class bodies, functions."""
+        yield tree.body, None
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                yield node.body, None
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node.body, node

@@ -1,0 +1,156 @@
+"""Unit-dimension algebra for the REP009 dataflow rule.
+
+The simulator's headline numbers are arithmetic over a handful of
+physical dimensions — power (W), energy (J/Wh), time (s), frequency
+(Hz), request rate (rps) — plus dimensionless fractions.  This module
+is the *data* half of the REP009 analysis: it maps identifier spellings
+to dimensions and defines how dimensions combine under ``*`` and ``/``
+(the ``W × s → Wh``-class rules).  The *dataflow* half — the abstract
+interpreter that propagates these dimensions through function bodies —
+lives in :mod:`repro.devtools.dataflow`.
+
+Design rule: the algebra is deliberately partial.  Any combination not
+listed below evaluates to :data:`UNKNOWN`, and UNKNOWN never produces a
+finding — a lint that guesses units is worse than one that abstains.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Optional, Tuple
+
+__all__ = [
+    "POWER",
+    "ENERGY",
+    "TIME",
+    "FREQUENCY",
+    "RATE",
+    "DIMENSIONLESS",
+    "UNKNOWN",
+    "SUFFIX_DIMENSIONS",
+    "DIMENSIONLESS_SUFFIXES",
+    "MUL_TABLE",
+    "DIV_TABLE",
+    "dimension_of_name",
+    "dimension_of_annotation",
+    "combine_mul",
+    "combine_div",
+]
+
+# Dimensions are interned strings: cheap to compare, readable in
+# findings, and trivially JSON-safe for reports.
+POWER = "power"  # repro: ignore[REP003] — dimension *names*, not quantities
+ENERGY = "energy"  # repro: ignore[REP003]
+TIME = "time"  # repro: ignore[REP003]
+FREQUENCY = "frequency"  # repro: ignore[REP003]
+RATE = "rate"
+DIMENSIONLESS = "dimensionless"
+
+#: The abstain value.  ``None`` ends every inference the algebra cannot
+#: justify; rules must treat it as "no opinion", never as a finding.
+UNKNOWN: Optional[str] = None
+
+#: Identifier suffix -> dimension.  The spelling source of truth is the
+#: REP003 suffix list; every suffix there maps to exactly one dimension.
+SUFFIX_DIMENSIONS: Dict[str, str] = {
+    "_w": POWER,
+    "_kw": POWER,
+    "_mw": POWER,
+    "_wh": ENERGY,
+    "_kwh": ENERGY,
+    "_j": ENERGY,
+    "_kj": ENERGY,
+    "_s": TIME,
+    "_ms": TIME,
+    "_us": TIME,
+    "_ns": TIME,
+    "_hz": FREQUENCY,
+    "_khz": FREQUENCY,
+    "_mhz": FREQUENCY,
+    "_ghz": FREQUENCY,
+    "_rps": RATE,
+}
+
+#: Suffixes that mark an explicitly dimensionless quantity.  These are
+#: inferred *only* as whole-word suffixes (``utilization_fraction``),
+#: so e.g. ``scale_factor`` participates in mixed-add checks.
+DIMENSIONLESS_SUFFIXES: FrozenSet[str] = frozenset(
+    {"_fraction", "_ratio", "_factor", "_frac", "_pct", "_percent"}
+)
+
+#: Symmetric multiplication table: ``(a, b) -> a*b``.  Only pairs whose
+#: product has a *defined* dimension in the simulator's vocabulary are
+#: listed; everything else multiplies to UNKNOWN.
+MUL_TABLE: Dict[Tuple[str, str], str] = {
+    (POWER, TIME): ENERGY,  # W × s → J (the Wh-class rule)
+    (RATE, TIME): DIMENSIONLESS,  # rps × s → requests (a count)
+    (FREQUENCY, TIME): DIMENSIONLESS,  # Hz × s → cycles (a count)
+}
+
+#: Division table: ``(numerator, denominator) -> numerator/denominator``.
+DIV_TABLE: Dict[Tuple[str, str], str] = {
+    (ENERGY, TIME): POWER,  # J / s → W
+    (ENERGY, POWER): TIME,  # J / W → s
+    (DIMENSIONLESS, TIME): RATE,  # count / s → rps-class rate
+    (DIMENSIONLESS, RATE): TIME,  # count / rps → s
+}
+
+
+def dimension_of_name(name: str) -> Optional[str]:
+    """Dimension implied by an identifier's unit suffix (or UNKNOWN).
+
+    ``peak_power_w`` → power; ``window_s`` → time; ``headroom_fraction``
+    → dimensionless; ``count`` → UNKNOWN.  Matching is case-insensitive
+    and longest-suffix-first so ``_rps`` wins over ``_s``.
+    """
+    lowered = name.lower()
+    best: Optional[str] = UNKNOWN
+    best_len = 0
+    for suffix, dimension in SUFFIX_DIMENSIONS.items():
+        if lowered.endswith(suffix) and len(suffix) > best_len:
+            best, best_len = dimension, len(suffix)
+    for suffix in DIMENSIONLESS_SUFFIXES:
+        if lowered.endswith(suffix) and len(suffix) > best_len:
+            best, best_len = DIMENSIONLESS, len(suffix)
+    return best
+
+
+def dimension_of_annotation(annotation: Optional[ast.AST]) -> Optional[str]:
+    """Dimension implied by a type annotation, when it names one.
+
+    Supports the documentation idiom ``x: "Watts"``-style string
+    annotations and ``Annotated[float, "power_w"]``-style unit tags by
+    reading any string constant inside the annotation through
+    :func:`dimension_of_name`.  Plain ``float``/``int`` annotations give
+    UNKNOWN.
+    """
+    if annotation is None:
+        return UNKNOWN
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            dimension = dimension_of_name(node.value)
+            if dimension is not UNKNOWN:
+                return dimension
+    return UNKNOWN
+
+
+def combine_mul(left: Optional[str], right: Optional[str]) -> Optional[str]:
+    """Dimension of ``left * right`` (UNKNOWN when the table abstains)."""
+    if left is UNKNOWN or right is UNKNOWN:
+        return UNKNOWN
+    if left == DIMENSIONLESS:
+        return right
+    if right == DIMENSIONLESS:
+        return left
+    return MUL_TABLE.get((left, right)) or MUL_TABLE.get((right, left))
+
+
+def combine_div(left: Optional[str], right: Optional[str]) -> Optional[str]:
+    """Dimension of ``left / right`` (UNKNOWN when the table abstains)."""
+    if left is UNKNOWN or right is UNKNOWN:
+        return UNKNOWN
+    if right == DIMENSIONLESS:
+        return left
+    if left == right:
+        return DIMENSIONLESS
+    return DIV_TABLE.get((left, right))

@@ -1,20 +1,32 @@
 """Rule-engine core for the :mod:`repro.devtools` static-analysis suite.
 
 The engine is deliberately tiny and dependency-free (stdlib :mod:`ast`
-only): a *rule* is a class with a ``rule_id`` and a ``check`` method
-that yields :class:`Finding` objects for one parsed module.  Rules
-register themselves with the :func:`register` decorator; the engine
-walks a file tree, parses every ``.py`` file once, runs the requested
-rules and filters out findings suppressed with an inline
+only).  Rules come in two scopes:
+
+* a **module rule** (:class:`Rule`) has a ``rule_id`` and a ``check``
+  method yielding :class:`Finding` objects for one parsed module;
+* a **project rule** (:class:`ProjectRule`) implements
+  ``check_project`` and sees every parsed module at once
+  (:class:`ProjectInfo`) — the scope dataflow analyses such as the
+  REP010 determinism race detector need to resolve cross-module
+  reachability.
+
+Rules register themselves with the :func:`register` decorator; the
+engine walks a file tree, parses every ``.py`` file once, runs the
+requested rules and filters out findings suppressed with an inline
 
 ::
 
     offending_line()  # repro: ignore[REP001]
 
 comment (comma-separated rule ids, or ``[*]`` to silence every rule on
-that line).  Reporters render the surviving findings as plain text or
-JSON.  See :mod:`repro.devtools.rules` for the domain rules themselves
-and :mod:`repro.devtools.lint` for the command-line front end.
+that line).  A rule that *crashes* does not mask the others: its
+exception is converted into a finding on its own rule id
+(``rule crashed: …``) and every other rule still reports normally.
+Reporters render the surviving findings as plain text, JSON or SARIF
+(:mod:`repro.devtools.sarif`).  See :mod:`repro.devtools.rules` for the
+domain rules themselves and :mod:`repro.devtools.lint` for the
+command-line front end.
 """
 
 from __future__ import annotations
@@ -24,12 +36,14 @@ import json
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Type
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Type
 
 __all__ = [
     "Finding",
     "ModuleInfo",
+    "ProjectInfo",
     "Rule",
+    "ProjectRule",
     "register",
     "registered_rules",
     "build_rules",
@@ -38,6 +52,7 @@ __all__ = [
     "lint_module",
     "lint_source",
     "lint_paths",
+    "lint_project",
     "iter_python_files",
     "render_text",
     "render_json",
@@ -93,8 +108,26 @@ class ModuleInfo:
         return finding.rule in rules or "*" in rules
 
 
+@dataclass
+class ProjectInfo:
+    """Every parsed module of one lint invocation, for project rules.
+
+    ``modules`` preserves the deterministic (path-sorted) collection
+    order; ``by_name`` indexes the subset with an inferred dotted module
+    name so project rules can resolve ``from repro.x import y`` edges.
+    """
+
+    modules: List[ModuleInfo] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.by_name: Dict[str, ModuleInfo] = {
+            m.module: m for m in self.modules if m.module is not None
+        }
+        self.by_path: Dict[str, ModuleInfo] = {m.path: m for m in self.modules}
+
+
 class Rule:
-    """Base class for all lint rules.
+    """Base class for module-scoped lint rules.
 
     Subclasses set :attr:`rule_id` / :attr:`summary` and implement
     :meth:`check`; the :meth:`finding` helper anchors a message to an
@@ -117,6 +150,24 @@ class Rule:
         return Finding(
             path=module.path, line=line, col=col, rule=self.rule_id, message=message
         )
+
+
+class ProjectRule(Rule):
+    """Base class for project-scoped rules (whole-tree analyses).
+
+    The engine calls :meth:`check_project` exactly once per lint run
+    with every parsed module; :meth:`check` is never invoked.  Findings
+    still anchor to individual modules via the inherited
+    :meth:`~Rule.finding` helper.
+    """
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        """Project rules are driven through :meth:`check_project`."""
+        return iter(())
+
+    def check_project(self, project: ProjectInfo) -> Iterator[Finding]:
+        """Yield every violation found across *project*."""
+        raise NotImplementedError
 
 
 _REGISTRY: Dict[str, Type[Rule]] = {}
@@ -203,16 +254,79 @@ def load_module(path: str, module: Optional[str] = None) -> ModuleInfo:
     )
 
 
+def _collect_safely(
+    rule: Rule, iterator_factory: Callable[[], Iterator[Finding]], crash_path: str
+) -> List[Finding]:
+    """Drain one rule's finding iterator, isolating any crash.
+
+    A rule that raises — at call time or mid-iteration — contributes the
+    findings it produced so far plus one synthetic ``rule crashed``
+    finding on its own id, and the remaining rules run untouched.  One
+    broken rule must never mask another rule's findings.
+    """
+    collected: List[Finding] = []
+    try:
+        for finding in iterator_factory():
+            collected.append(finding)
+    except Exception as exc:  # noqa: BLE001 - the isolation point by design
+        collected.append(
+            Finding(
+                path=crash_path,
+                line=1,
+                col=0,
+                rule=rule.rule_id or "REP000",
+                message=(
+                    f"rule crashed: {type(exc).__name__}: {exc} "
+                    "(findings from this rule may be incomplete)"
+                ),
+            )
+        )
+    return collected
+
+
+def lint_project(
+    project: ProjectInfo, rules: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Run the (selected) rules over every module of *project*.
+
+    Module rules run once per module; project rules run once with the
+    whole project.  Suppression comments are honoured per the module a
+    finding lands in, and every rule is crash-isolated.
+    """
+    raw: List[Finding] = []
+    crash_path = project.modules[0].path if project.modules else "<project>"
+    for rule in build_rules(rules):
+        if isinstance(rule, ProjectRule):
+            raw.extend(
+                _collect_safely(
+                    rule, lambda r=rule: r.check_project(project), crash_path
+                )
+            )
+        else:
+            for module in project.modules:
+                raw.extend(
+                    _collect_safely(
+                        rule, lambda r=rule, m=module: r.check(m), module.path
+                    )
+                )
+    findings: List[Finding] = []
+    for finding in raw:
+        owner = project.by_path.get(finding.path)
+        if owner is not None and owner.suppressed(finding):
+            continue
+        findings.append(finding)
+    return sorted(findings)
+
+
 def lint_module(
     module: ModuleInfo, rules: Optional[Sequence[str]] = None
 ) -> List[Finding]:
-    """Run the (selected) rules over one parsed module."""
-    findings: List[Finding] = []
-    for rule in build_rules(rules):
-        for finding in rule.check(module):
-            if not module.suppressed(finding):
-                findings.append(finding)
-    return sorted(findings)
+    """Run the (selected) rules over one parsed module.
+
+    Project rules see a single-module project, so cross-module analyses
+    degrade gracefully to their intra-module subset here.
+    """
+    return lint_project(ProjectInfo(modules=[module]), rules)
 
 
 def lint_source(
@@ -237,7 +351,7 @@ def lint_source(
         tree=ast.parse(source, filename=path),
         suppressions=_scan_suppressions(source),
     )
-    return lint_module(info, rules)
+    return lint_project(ProjectInfo(modules=[info]), rules)
 
 
 def iter_python_files(paths: Sequence[str]) -> List[str]:
@@ -261,12 +375,17 @@ def iter_python_files(paths: Sequence[str]) -> List[str]:
 def lint_paths(
     paths: Sequence[str], rules: Optional[Sequence[str]] = None
 ) -> List[Finding]:
-    """Lint every ``.py`` file under *paths*; unparseable files become
-    :data:`PARSE_ERROR_RULE` findings rather than exceptions."""
+    """Lint every ``.py`` file under *paths*.
+
+    All parseable modules are collected into one :class:`ProjectInfo`
+    (so project rules see the whole tree); unparseable files become
+    :data:`PARSE_ERROR_RULE` findings rather than exceptions.
+    """
     findings: List[Finding] = []
+    modules: List[ModuleInfo] = []
     for path in iter_python_files(paths):
         try:
-            info = load_module(path)
+            modules.append(load_module(path))
         except SyntaxError as exc:
             findings.append(
                 Finding(
@@ -277,8 +396,7 @@ def lint_paths(
                     message=f"syntax error: {exc.msg}",
                 )
             )
-            continue
-        findings.extend(lint_module(info, rules))
+    findings.extend(lint_project(ProjectInfo(modules=modules), rules))
     return sorted(findings)
 
 

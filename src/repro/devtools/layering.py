@@ -61,7 +61,10 @@ ALLOWED_IMPORTS: Dict[str, FrozenSet[str]] = {
     "sim.kernel": frozenset({"validation", "obs"}),
     "trace": frozenset({"validation"}),
     "workloads.catalog": frozenset({"validation"}),
-    "devtools": frozenset({"validation"}),
+    # devtools reads the obs *contract* (declared counter/timer names)
+    # to enforce REP011 and stamps the package version into SARIF
+    # output; it still may not import the simulator proper.
+    "devtools": frozenset({"validation", "version", "obs"}),
     "network": frozenset({"validation", "obs", "sim.kernel", "workloads.catalog"}),
     "cluster": frozenset(
         {"validation", "obs", "sim.kernel", "workloads.catalog", "network"}

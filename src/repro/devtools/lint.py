@@ -2,15 +2,24 @@
 
 Usage::
 
-    python -m repro.devtools.lint src/repro            # text report
-    python -m repro.devtools.lint src/repro --format json
-    python -m repro.devtools.lint src/repro --rules REP001,REP004
-    python -m repro.devtools.lint --list-rules
+    python -m repro lint src/repro                 # text report
+    python -m repro lint src/repro --format json
+    python -m repro lint src/repro --format sarif --out lint.sarif
+    python -m repro lint src/repro --baseline lint-baseline.json
+    python -m repro lint src/repro --write-baseline lint-baseline.json
+    python -m repro lint src/repro --rules REP009,REP010
+    python -m repro lint --list-rules
 
-Exit status: 0 when no findings, 1 when any finding survives
-suppression, 2 on usage errors.  ``scripts/check.sh`` runs this ahead
-of the tier-1 test suite, and ``tests/test_static_analysis.py``
-enforces a zero-finding tree as a tier-1 gate.
+``python -m repro.devtools.lint`` is a historical alias with the same
+flags (kept because ``scripts/check.sh`` and docs referenced it long
+before the main CLI grew a ``lint`` subcommand; both paths call the
+same :func:`run`).
+
+Exit status: 0 when no finding survives suppression *and* the
+baseline, 1 otherwise, 2 on usage errors.  ``scripts/check.sh`` runs
+this ahead of the tier-1 test suite, and
+``tests/test_static_analysis.py`` enforces a zero-finding tree as a
+tier-1 gate.
 """
 
 from __future__ import annotations
@@ -19,18 +28,19 @@ import argparse
 import sys
 from typing import List, Optional
 
-from . import rules as _rules  # noqa: F401  (importing registers the rules)
+from . import dataflow as _dataflow  # noqa: F401  (importing registers the rules)
+from . import reachability as _reachability  # noqa: F401
+from . import registries as _registries  # noqa: F401
+from . import rules as _rules  # noqa: F401
+from .baseline import load_baseline, render_baseline, unbaselined
 from .engine import lint_paths, registered_rules, render_json, render_text
+from .sarif import render_sarif
 
-__all__ = ["main"]
+__all__ = ["configure_parser", "run", "main"]
 
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.devtools.lint",
-        description="Domain-aware static analysis for the repro package "
-        "(determinism, unit discipline, layering, exports).",
-    )
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint flags to *parser* (shared with ``repro lint``)."""
     parser.add_argument(
         "paths",
         nargs="*",
@@ -38,7 +48,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -49,18 +59,37 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="suppress findings fingerprinted in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="write current findings to FILE as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="list the registered rules and exit",
     )
-    return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point; returns the process exit status."""
-    parser = _build_parser()
-    options = parser.parse_args(argv)
-
+def run(
+    options: argparse.Namespace,
+    parser: Optional[argparse.ArgumentParser] = None,
+) -> int:
+    """Execute a parsed lint invocation; returns the exit status."""
+    if parser is None:
+        parser = _build_parser()
     if options.list_rules:
         for rule_cls in registered_rules():
             print(f"{rule_cls.rule_id}  {rule_cls.summary}")
@@ -71,7 +100,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     selected = None
     if options.rules is not None:
-        selected = [token.strip() for token in options.rules.split(",") if token.strip()]
+        selected = [
+            token.strip() for token in options.rules.split(",") if token.strip()
+        ]
 
     try:
         findings = lint_paths(options.paths, rules=selected)
@@ -80,11 +111,57 @@ def main(argv: Optional[List[str]] = None) -> int:
     except OSError as exc:  # unreadable / nonexistent path
         parser.error(f"cannot read {exc.filename or 'path'}: {exc.strerror}")
 
+    if options.write_baseline is not None:
+        with open(options.write_baseline, "w", encoding="utf-8") as handle:
+            handle.write(render_baseline(findings))
+        print(
+            f"wrote {len(findings)} finding(s) to baseline "
+            f"{options.write_baseline}"
+        )
+        return 0
+
+    if options.baseline is not None:
+        try:
+            with open(options.baseline, "r", encoding="utf-8") as handle:
+                baseline = load_baseline(handle.read())
+        except OSError as exc:
+            parser.error(
+                f"cannot read baseline {options.baseline}: {exc.strerror}"
+            )
+        except ValueError as exc:
+            parser.error(f"bad baseline {options.baseline}: {exc}")
+        findings = unbaselined(findings, baseline)
+
     if options.format == "json":
-        print(render_json(findings))
+        report = render_json(findings)
+    elif options.format == "sarif":
+        report = render_sarif(findings)
     else:
-        print(render_text(findings))
+        report = render_text(findings)
+
+    if options.out is not None:
+        with open(options.out, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    else:
+        print(report)
     return 1 if findings else 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="Domain-aware static analysis for the repro package "
+        "(determinism, unit dataflow, layering, contracts).",
+    )
+    configure_parser(parser)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+    return run(options, parser)
 
 
 if __name__ == "__main__":

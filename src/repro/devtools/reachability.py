@@ -1,0 +1,633 @@
+"""REP010 — cross-process determinism race detector.
+
+The runner's contract (``tests/test_determinism.py``) is that a sweep's
+merged output is byte-identical for any worker count.  The dynamic test
+can only catch a violation that happens to fire; this rule is its
+static counterpart.  It identifies the *cell callables* — the
+experiment functions :func:`repro.runner.run_cells` fans out across
+processes — walks the intra-project call graph reachable from them, and
+flags the three statically-recognisable ways a cell can observe which
+process (or how many prior cells) it ran in:
+
+1. **Module-level mutable state.**  A cell that mutates a module global
+   (``global`` rebinding, ``X.append(...)``, ``X[k] = v``,
+   ``next(module_counter)``) accumulates per-*process* state: the 4th
+   cell in a serial run sees three predecessors, the 4th cell under
+   ``workers=4`` sees none.  Reads of a module global that is mutated
+   elsewhere in its module are flagged for the same reason.
+2. **Unordered iteration feeding outputs.**  Iterating a ``set`` (or
+   feeding one into ``list``/``tuple``/``join``/a serialization or
+   hashing sink such as ``json.dumps``/``canonical_json``/``cell_key``)
+   makes cell output depend on hash-iteration order.  Wrapping the set
+   in ``sorted(...)`` is the fix and is recognised.
+3. **Unseeded RNG construction.**  ``default_rng()`` or
+   ``SeedSequence()`` with no arguments draws OS entropy, which no two
+   runs share.
+
+The call graph is deliberately conservative: it follows same-module
+functions, ``from repro.x import f`` edges into the linted project,
+``self.method`` calls within a class, and classes instantiated into a
+cell-callable slot (their ``__init__``/``__call__``).  What it cannot
+resolve it does not follow — a path the rule does not see is a path it
+stays silent about.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from .engine import Finding, ModuleInfo, ProjectInfo, ProjectRule, register
+
+__all__ = ["DeterminismRaceRule"]
+
+AnyFunctionDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Names a cell-fanning executor call may carry.
+_EXECUTOR_FUNCS = frozenset({"run_cells", "replicate"})
+
+#: Method names that mutate their receiver in place.
+_MUTATORS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "update",
+        "pop",
+        "popitem",
+        "popleft",
+        "setdefault",
+        "clear",
+        "extend",
+        "insert",
+        "remove",
+        "discard",
+        "sort",
+        "reverse",
+    }
+)
+
+#: Callables whose output depends on the order of their iterable input.
+_ORDER_SENSITIVE_CONSUMERS = frozenset({"list", "tuple", "enumerate", "map", "join"})
+
+#: Serialization / hashing sinks: any unordered iterable in their
+#: argument subtree lands in a deterministic artifact.
+_SERIALIZATION_SINKS = frozenset(
+    {
+        "dumps",
+        "dump",
+        "canonical_json",
+        "cell_key",
+        "config_hash",
+        "deterministic_hash",
+        "sha256",
+        "md5",
+        "blake2b",
+    }
+)
+
+#: Set-returning methods (receiver order lost either way).
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_set_expression(node: ast.AST, module_sets: Set[str]) -> bool:
+    """Statically set-typed: display, comprehension, ``set()``-like call,
+    a set-algebra method call, or a module-level set constant."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in module_sets
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # set algebra on at least one known set operand
+        return _is_set_expression(node.left, module_sets) or _is_set_expression(
+            node.right, module_sets
+        )
+    return False
+
+
+@dataclass
+class _FunctionEntry:
+    """One function/method in the project-wide function table."""
+
+    module: ModuleInfo
+    module_key: str
+    qualname: str
+    node: AnyFunctionDef
+    class_name: Optional[str] = None
+
+
+@dataclass
+class _ModuleIndex:
+    """Per-module symbol tables the resolver needs."""
+
+    info: ModuleInfo
+    functions: Dict[str, AnyFunctionDef] = field(default_factory=dict)
+    classes: Dict[str, ast.ClassDef] = field(default_factory=dict)
+    #: local name -> (source module, original name) for from-imports.
+    from_imports: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    #: every module-level assigned name -> its value node (or None).
+    module_globals: Dict[str, Optional[ast.AST]] = field(default_factory=dict)
+    #: module-level names bound to set expressions.
+    module_sets: Set[str] = field(default_factory=set)
+    #: module-level names mutated by *some* function in this module.
+    mutated_globals: Set[str] = field(default_factory=set)
+
+
+def _import_source_module(
+    module_key: str, is_package: bool, stmt: ast.ImportFrom
+) -> Optional[str]:
+    """Absolute dotted name an ``ImportFrom`` statement reads from.
+
+    Resolves relative levels against *module_key* (the importing
+    module's dotted name): in ``repro.faults.chaos``, ``from ..sim
+    import X`` → ``repro.sim``; in the ``repro.sim`` package
+    ``__init__``, ``from .engine import X`` → ``repro.sim.engine``.
+    """
+    if stmt.level == 0:
+        return stmt.module
+    parts = module_key.split(".")
+    package = parts if is_package else parts[:-1]
+    if stmt.level - 1 > len(package):
+        return None
+    base = package[: len(package) - (stmt.level - 1)]
+    if stmt.module:
+        base = base + stmt.module.split(".")
+    return ".".join(base) if base else None
+
+
+def _index_module(info: ModuleInfo, module_key: str) -> _ModuleIndex:
+    index = _ModuleIndex(info=info)
+    is_package = info.path.endswith("__init__.py")
+    for stmt in info.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            index.functions[stmt.name] = stmt
+        elif isinstance(stmt, ast.ClassDef):
+            index.classes[stmt.name] = stmt
+        elif isinstance(stmt, ast.ImportFrom):
+            source = _import_source_module(module_key, is_package, stmt)
+            if source is None:
+                continue
+            for alias in stmt.names:
+                if alias.name != "*":
+                    index.from_imports[alias.asname or alias.name] = (
+                        source,
+                        alias.name,
+                    )
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    index.module_globals[target.id] = stmt.value
+                    if _is_set_expression(stmt.value, set()):
+                        index.module_sets.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            index.module_globals[stmt.target.id] = stmt.value
+            if stmt.value is not None and _is_set_expression(stmt.value, set()):
+                index.module_sets.add(stmt.target.id)
+    return index
+
+
+def _bound_names(node: AnyFunctionDef) -> Set[str]:
+    """Names bound locally anywhere inside *node* (params + stores)."""
+    bound: Set[str] = set()
+    args = node.args
+    for arg in (
+        args.posonlyargs
+        + args.args
+        + args.kwonlyargs
+        + ([args.vararg] if args.vararg else [])
+        + ([args.kwarg] if args.kwarg else [])
+    ):
+        bound.add(arg.arg)
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+            bound.add(sub.id)
+        elif isinstance(sub, ast.ExceptHandler) and sub.name:
+            bound.add(sub.name)
+        elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)) and sub is not node:
+            bound.add(sub.name)
+    return bound
+
+
+def _global_mutations(
+    index: _ModuleIndex, node: AnyFunctionDef
+) -> Iterator[Tuple[ast.AST, str, str]]:
+    """Yield ``(node, global name, how)`` for module-state mutations."""
+    bound = _bound_names(node)
+    declared_global: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Global):
+            declared_global.update(sub.names)
+            for name in sub.names:
+                yield sub, name, "declares it global (rebinding)"
+
+    def is_module_global(name: str) -> bool:
+        if name in declared_global:
+            return False  # already reported at the global statement
+        return name in index.module_globals and name not in bound
+
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            func = sub.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATORS
+                and isinstance(func.value, ast.Name)
+                and is_module_global(func.value.id)
+            ):
+                yield sub, func.value.id, f"calls .{func.attr}() on it"
+            elif (
+                isinstance(func, ast.Name)
+                and func.id == "next"
+                and sub.args
+                and isinstance(sub.args[0], ast.Name)
+                and is_module_global(sub.args[0].id)
+            ):
+                yield sub, sub.args[0].id, "advances it with next()"
+        elif isinstance(sub, (ast.Assign, ast.AugAssign)):
+            targets = sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+            for target in targets:
+                container = None
+                if isinstance(target, (ast.Subscript, ast.Attribute)):
+                    container = target.value
+                if (
+                    container is not None
+                    and isinstance(container, ast.Name)
+                    and is_module_global(container.id)
+                ):
+                    yield sub, container.id, "assigns into it"
+        elif isinstance(sub, ast.Delete):
+            for target in sub.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and is_module_global(target.value.id)
+                ):
+                    yield sub, target.value.id, "deletes from it"
+
+
+def _mutated_global_reads(
+    index: _ModuleIndex, node: AnyFunctionDef
+) -> Iterator[Tuple[ast.AST, str]]:
+    """Reads of module globals that some function in the module mutates.
+
+    Lines already reported as mutation sites are skipped — the mutation
+    finding subsumes the read.
+    """
+    bound = _bound_names(node)
+    mutation_sites = {
+        (getattr(site, "lineno", None), name)
+        for site, name, _ in _global_mutations(index, node)
+    }
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Name)
+            and isinstance(sub.ctx, ast.Load)
+            and sub.id in index.mutated_globals
+            and sub.id not in bound
+            and (sub.lineno, sub.id) not in mutation_sites
+        ):
+            yield sub, sub.id
+
+
+def _walk_skipping_sorted(node: ast.AST) -> Iterator[ast.AST]:
+    """Pre-order walk that does not descend into ``sorted(...)`` calls.
+
+    A set already routed through ``sorted()`` has a defined order, so
+    the serialization-sink check must not re-flag it.
+    """
+    if isinstance(node, ast.Call) and _terminal_name(node.func) == "sorted":
+        return
+    yield node
+    for child in ast.iter_child_nodes(node):
+        yield from _walk_skipping_sorted(child)
+
+
+def _local_set_names(node: AnyFunctionDef) -> Set[str]:
+    """Locals that only ever hold set expressions inside *node*.
+
+    A name once reassigned to anything non-set (``s = sorted(s)``) is
+    dropped — after that its iteration order is defined.
+    """
+    assigned_set: Set[str] = set()
+    assigned_other: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Assign):
+            for target in sub.targets:
+                if isinstance(target, ast.Name):
+                    if _is_set_expression(sub.value, assigned_set):
+                        assigned_set.add(target.id)
+                    else:
+                        assigned_other.add(target.id)
+        elif isinstance(sub, ast.AnnAssign) and isinstance(sub.target, ast.Name):
+            if sub.value is not None and _is_set_expression(sub.value, assigned_set):
+                assigned_set.add(sub.target.id)
+            else:
+                assigned_other.add(sub.target.id)
+    return assigned_set - assigned_other
+
+
+def _unordered_iterations(
+    index: _ModuleIndex, node: AnyFunctionDef
+) -> Iterator[Tuple[ast.AST, str]]:
+    """Set-ordered data reaching loops, consumers or serialization sinks."""
+    bound = _bound_names(node)
+    module_sets = (index.module_sets - bound) | _local_set_names(node)
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.For, ast.AsyncFor)):
+            if _is_set_expression(sub.iter, module_sets):
+                yield sub.iter, "iterates a set in hash order"
+        elif isinstance(sub, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            for generator in sub.generators:
+                if _is_set_expression(generator.iter, module_sets):
+                    yield generator.iter, "iterates a set in hash order"
+        elif isinstance(sub, ast.Call):
+            name = _terminal_name(sub.func)
+            if name in _ORDER_SENSITIVE_CONSUMERS:
+                for arg in sub.args:
+                    if _is_set_expression(arg, module_sets):
+                        yield arg, f"feeds a set into {name}() unsorted"
+            elif name in _SERIALIZATION_SINKS:
+                for arg in list(sub.args) + [kw.value for kw in sub.keywords]:
+                    for inner in _walk_skipping_sorted(arg):
+                        if _is_set_expression(inner, module_sets):
+                            yield (
+                                inner,
+                                f"feeds a set into the {name}() "
+                                "serialization sink",
+                            )
+
+
+def _unseeded_rng(node: AnyFunctionDef) -> Iterator[Tuple[ast.AST, str]]:
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call) or sub.args or sub.keywords:
+            continue
+        name = _terminal_name(sub.func)
+        if name == "default_rng":
+            yield sub, "default_rng() with no seed draws OS entropy"
+        elif name == "SeedSequence":
+            yield sub, "SeedSequence() with no entropy draws OS entropy"
+
+
+class _CallGraph:
+    """Conservative intra-project call graph."""
+
+    def __init__(self, project: ProjectInfo) -> None:
+        self.indexes: Dict[str, _ModuleIndex] = {}
+        self.functions: Dict[Tuple[str, str], _FunctionEntry] = {}
+        for info in project.modules:
+            key = info.module or info.path
+            index = _index_module(info, key)
+            self.indexes[key] = index
+            for name, fn in index.functions.items():
+                self.functions[(key, name)] = _FunctionEntry(
+                    module=info, module_key=key, qualname=name, node=fn
+                )
+            for class_name, class_node in index.classes.items():
+                for stmt in class_node.body:
+                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        qualname = f"{class_name}.{stmt.name}"
+                        self.functions[(key, qualname)] = _FunctionEntry(
+                            module=info,
+                            module_key=key,
+                            qualname=qualname,
+                            node=stmt,
+                            class_name=class_name,
+                        )
+        for index in self.indexes.values():
+            mutated: Set[str] = set()
+            for entry in self.functions.values():
+                if entry.module is not index.info:
+                    continue
+                for _, name, _ in _global_mutations(index, entry.node):
+                    mutated.add(name)
+            index.mutated_globals = mutated
+
+    # -- resolution ----------------------------------------------------
+
+    def resolve_function(
+        self,
+        module_key: str,
+        name: str,
+        _seen: Optional[Set[Tuple[str, str]]] = None,
+    ) -> Optional[Tuple[str, str]]:
+        """Resolve *name* in *module_key* to a function-table key,
+        chasing ``from x import y`` re-export chains (``__init__``
+        facades) until a definition or a dead end."""
+        if (module_key, name) in self.functions:
+            return (module_key, name)
+        index = self.indexes.get(module_key)
+        if index is None:
+            return None
+        target = index.from_imports.get(name)
+        if target is None:
+            return None
+        seen = _seen if _seen is not None else set()
+        if (module_key, name) in seen:
+            return None
+        seen.add((module_key, name))
+        return self.resolve_function(target[0], target[1], seen)
+
+    def resolve_class(
+        self,
+        module_key: str,
+        name: str,
+        _seen: Optional[Set[Tuple[str, str]]] = None,
+    ) -> Optional[Tuple[str, str]]:
+        """Resolve *name* to ``(module_key, class name)`` when it is a
+        class, chasing re-export chains like :meth:`resolve_function`."""
+        index = self.indexes.get(module_key)
+        if index is None:
+            return None
+        if name in index.classes:
+            return (module_key, name)
+        target = index.from_imports.get(name)
+        if target is None:
+            return None
+        seen = _seen if _seen is not None else set()
+        if (module_key, name) in seen:
+            return None
+        seen.add((module_key, name))
+        return self.resolve_class(target[0], target[1], seen)
+
+    def class_entry_keys(self, class_key: Tuple[str, str]) -> List[Tuple[str, str]]:
+        module_key, class_name = class_key
+        keys = []
+        for method in ("__init__", "__call__"):
+            key = (module_key, f"{class_name}.{method}")
+            if key in self.functions:
+                keys.append(key)
+        return keys
+
+    def callees(self, key: Tuple[str, str]) -> List[Tuple[str, str]]:
+        entry = self.functions[key]
+        out: List[Tuple[str, str]] = []
+        for sub in ast.walk(entry.node):
+            if not isinstance(sub, ast.Call):
+                continue
+            func = sub.func
+            if isinstance(func, ast.Name):
+                resolved = self.resolve_function(entry.module_key, func.id)
+                if resolved is not None:
+                    out.append(resolved)
+                    continue
+                class_key = self.resolve_class(entry.module_key, func.id)
+                if class_key is not None:
+                    out.extend(self.class_entry_keys(class_key))
+            elif (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and entry.class_name is not None
+            ):
+                method_key = (
+                    entry.module_key,
+                    f"{entry.class_name}.{func.attr}",
+                )
+                if method_key in self.functions:
+                    out.append(method_key)
+        return out
+
+    # -- entry points --------------------------------------------------
+
+    def entry_points(self) -> Dict[Tuple[str, str], str]:
+        """Cell callables: ``{function key: reason}``."""
+        entries: Dict[Tuple[str, str], str] = {}
+        for (module_key, qualname), entry in self.functions.items():
+            if "." not in qualname and qualname.endswith("_cell"):
+                entries.setdefault(
+                    (module_key, qualname), f"cell-named function {qualname!r}"
+                )
+        for key, entry in list(self.functions.items()):
+            for sub in ast.walk(entry.node):
+                if not isinstance(sub, ast.Call):
+                    continue
+                if _terminal_name(sub.func) not in _EXECUTOR_FUNCS:
+                    continue
+                experiment = None
+                if sub.args:
+                    experiment = sub.args[0]
+                for keyword in sub.keywords:
+                    if keyword.arg == "experiment":
+                        experiment = keyword.value
+                if not isinstance(experiment, ast.Name):
+                    continue
+                reason = (
+                    f"passed to {_terminal_name(sub.func)}() in "
+                    f"{entry.qualname}"
+                )
+                resolved = self.resolve_function(entry.module_key, experiment.id)
+                if resolved is not None:
+                    entries.setdefault(resolved, reason)
+                    continue
+                class_key = self._resolve_instance_class(entry, experiment.id)
+                if class_key is not None:
+                    for method_key in self.class_entry_keys(class_key):
+                        entries.setdefault(method_key, reason)
+        return entries
+
+    def _resolve_instance_class(
+        self, entry: _FunctionEntry, var_name: str
+    ) -> Optional[Tuple[str, str]]:
+        """``probe = SomeProbe(...)`` inside *entry* → that class."""
+        for sub in ast.walk(entry.node):
+            if not isinstance(sub, ast.Assign):
+                continue
+            if not any(
+                isinstance(t, ast.Name) and t.id == var_name for t in sub.targets
+            ):
+                continue
+            value = sub.value
+            if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+                return self.resolve_class(entry.module_key, value.func.id)
+        return None
+
+    def reachable(
+        self, entries: Dict[Tuple[str, str], str]
+    ) -> Dict[Tuple[str, str], str]:
+        """BFS closure: ``{function key: entry description}``."""
+        origin: Dict[Tuple[str, str], str] = {}
+        queue = list(entries.items())
+        while queue:
+            key, reason = queue.pop(0)
+            if key in origin:
+                continue
+            origin[key] = reason
+            for callee in self.callees(key):
+                if callee not in origin:
+                    queue.append((callee, reason))
+        return origin
+
+
+@register
+class DeterminismRaceRule(ProjectRule):
+    """REP010: cell-reachable code must be process-count oblivious.
+
+    Functions reachable from :func:`repro.runner.run_cells` cell
+    callables may not mutate (or read mutated) module-level state,
+    iterate sets into ordered outputs or serialization/hashing sinks,
+    or construct unseeded RNGs — each makes ``workers=1`` and
+    ``workers=N`` runs observably different, breaking the byte-identity
+    contract the sweep caches and manifests rely on.
+    """
+
+    rule_id = "REP010"
+    summary = "nondeterminism on a run_cells cell path (race/order/entropy)"
+
+    def check_project(self, project: ProjectInfo) -> Iterator[Finding]:
+        graph = _CallGraph(project)
+        entries = graph.entry_points()
+        if not entries:
+            return
+        for key, via in graph.reachable(entries).items():
+            entry = graph.functions[key]
+            index = graph.indexes[entry.module_key]
+            context = f"on a cell path ({via})"
+            for node, name, how in _global_mutations(index, entry.node):
+                yield self.finding(
+                    entry.module,
+                    node,
+                    f"{entry.qualname} mutates module-level state "
+                    f"{name!r}: {how} {context}; per-process state "
+                    "diverges between worker counts",
+                )
+            for node, name in _mutated_global_reads(index, entry.node):
+                yield self.finding(
+                    entry.module,
+                    node,
+                    f"{entry.qualname} reads module-level {name!r}, "
+                    f"which this module also mutates, {context}; "
+                    "pass state explicitly instead",
+                )
+            for node, how in _unordered_iterations(index, entry.node):
+                yield self.finding(
+                    entry.module,
+                    node,
+                    f"{entry.qualname} {how} {context}; wrap it in "
+                    "sorted(...) to fix the order",
+                )
+            for node, how in _unseeded_rng(entry.node):
+                yield self.finding(
+                    entry.module,
+                    node,
+                    f"{entry.qualname}: {how} {context}; derive it from "
+                    "the cell's seed",
+                )

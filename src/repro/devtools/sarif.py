@@ -1,0 +1,89 @@
+"""SARIF 2.1.0 rendering for lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the exchange
+format GitHub code scanning ingests; emitting it lets the CI pipeline
+annotate PR diffs with REP findings instead of burying them in a job
+log.  Only the small, stable subset code scanning actually reads is
+emitted: the tool driver with its rule metadata, and one ``result``
+per finding with a physical location.
+
+The output is deterministic: findings are rendered in their sorted
+engine order and the JSON is dumped with sorted keys, so two runs over
+the same tree are byte-identical (the same property every other
+artifact in this repo has).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .._version import __version__
+from .engine import Finding, registered_rules
+
+__all__ = ["render_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_metadata() -> List[Dict[str, object]]:
+    rules = []
+    for rule_cls in registered_rules():
+        rules.append(
+            {
+                "id": rule_cls.rule_id,
+                "shortDescription": {"text": rule_cls.summary},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    return rules
+
+
+def _result(finding: Finding) -> Dict[str, object]:
+    return {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "ROOT",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        # SARIF columns are 1-based; ast's are 0-based.
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """Render *findings* as a SARIF 2.1.0 document (a JSON string)."""
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-devtools",
+                        "informationUri": "https://example.invalid/repro",
+                        "version": __version__,
+                        "rules": _rule_metadata(),
+                    }
+                },
+                "results": [_result(finding) for finding in findings],
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

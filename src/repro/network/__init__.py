@@ -9,13 +9,20 @@ from .load_balancer import (
     RetryPolicy,
     RoundRobinPolicy,
 )
-from .request import FAULT_OUTCOMES, CompletionRecord, Request, RequestOutcome
+from .request import (
+    FAULT_OUTCOMES,
+    POLICY_OUTCOMES,
+    CompletionRecord,
+    Request,
+    RequestOutcome,
+)
 from .sources import SourcePool, SourceRegistry
 
 __all__ = [
     "Request",
     "RequestOutcome",
     "FAULT_OUTCOMES",
+    "POLICY_OUTCOMES",
     "CompletionRecord",
     "SourcePool",
     "SourceRegistry",

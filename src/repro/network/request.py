@@ -19,6 +19,7 @@ from ..workloads.catalog import RequestType, TrafficClass
 __all__ = [
     "RequestOutcome",
     "FAULT_OUTCOMES",
+    "POLICY_OUTCOMES",
     "Request",
     "CompletionRecord",
 ]
@@ -45,6 +46,20 @@ class RequestOutcome(enum.Enum):
 #: availability curves under chaos scenarios stay honest.
 FAULT_OUTCOMES = frozenset(
     {RequestOutcome.FAILED_SERVER, RequestOutcome.DROPPED_NO_BACKEND}
+)
+
+#: Outcomes the *scheme* chose: firewall verdicts, token refusals,
+#: queue admission control, SLA timeouts.  Together with
+#: :data:`FAULT_OUTCOMES` this partitions every non-completed outcome —
+#: the REP012 contract rule statically rejects any new enum member that
+#: joins neither set, so drop attribution stays total by construction.
+POLICY_OUTCOMES = frozenset(
+    {
+        RequestOutcome.DROPPED_FIREWALL,
+        RequestOutcome.DROPPED_TOKEN,
+        RequestOutcome.DROPPED_QUEUE_FULL,
+        RequestOutcome.TIMED_OUT,
+    }
 )
 
 

@@ -24,6 +24,13 @@ See DESIGN.md §9 for what is counted, what is timed, and why the
 boundary sits where it does.
 """
 
+from .contract import (
+    COUNTER_NAMES,
+    COUNTER_PREFIXES,
+    TIMER_NAMES,
+    is_declared_counter,
+    is_declared_timer,
+)
 from .counters import Counters
 from .manifest import (
     BENCH_SCHEMA_ID,
@@ -37,6 +44,11 @@ from .sanitize import jsonable
 from .timers import WallTimers
 
 __all__ = [
+    "COUNTER_NAMES",
+    "COUNTER_PREFIXES",
+    "TIMER_NAMES",
+    "is_declared_counter",
+    "is_declared_timer",
     "Counters",
     "WallTimers",
     "Recorder",

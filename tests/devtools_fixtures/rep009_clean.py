@@ -1,0 +1,49 @@
+"""Clean twin for REP009: dimensionally consistent dataflow.
+
+Every construct here is legal under the dimension algebra — the rule
+must stay silent on all of it.
+"""
+
+
+def energy_from_power(power_w: float, dt_s: float) -> float:
+    return power_w * dt_s  # W x s -> J: legal by the algebra
+
+
+def average_power(total_j: float, window_s: float) -> float:
+    return total_j / window_s  # J / s -> W
+
+
+def inverse_period(period_s: float) -> float:
+    freq_hz = 1.0 / period_s  # 1 / s -> rate-class, compatible with Hz
+    return freq_hz
+
+
+def request_count(rate_rps: float, window_s: float) -> float:
+    return rate_rps * window_s  # rps x s -> a count
+
+
+def same_dimension_math(first_w: float, second_w: float) -> bool:
+    total_w = first_w + second_w
+    return total_w > 3.0 * first_w  # scalars are transparent under *
+
+
+def rate_meets_frequency(sample_hz: float, arrival_rps: float) -> float:
+    return max(sample_hz, arrival_rps)  # both inverse time: compatible
+
+
+def unknown_abstains(count, power_w: float):
+    blend = count + power_w  # count is UNKNOWN: the analysis abstains
+    return blend
+
+
+def rebind_same_dimension(dt_s: float, pause_s: float) -> float:
+    window = dt_s
+    window = pause_s  # time -> time: a legal rebind
+    return window
+
+
+def homogeneous_loop(powers_w) -> float:
+    peak_w = 0.0
+    for sample_w in powers_w:
+        peak_w = max(peak_w, sample_w)
+    return peak_w

@@ -1,0 +1,55 @@
+"""Seeded REP009 violations: mixed-dimension dataflow.
+
+Every marked line must yield exactly one REP009 finding.
+"""
+
+
+def mixed_add(power_w: float, energy_j: float) -> float:
+    return power_w + energy_j  # VIOLATION
+
+
+def mixed_subtract(peak_w: float, window_s: float) -> float:
+    return peak_w - window_s  # VIOLATION
+
+
+def mixed_compare(peak_w: float, window_s: float) -> bool:
+    return peak_w > window_s  # VIOLATION
+
+
+def suffixed_assign(load_w: float) -> float:
+    total_j = load_w  # VIOLATION
+    return total_j
+
+
+def silent_reassign(dt_s: float, cap_w: float) -> float:
+    window = dt_s
+    window = cap_w  # VIOLATION
+    return window
+
+
+def keyword_mismatch(cap_w: float) -> None:
+    configure(duration_s=cap_w)  # VIOLATION
+
+
+def mixed_max(cap_w: float, dt_s: float) -> float:
+    return max(cap_w, dt_s)  # VIOLATION
+
+
+def mixed_augment(total_w: float, dt_s: float) -> float:
+    total_w += dt_s  # VIOLATION
+    return total_w
+
+
+def mixed_branches(flag: bool, cap_w: float, dt_s: float) -> float:
+    return cap_w if flag else dt_s  # VIOLATION
+
+
+def mislabeled_loop(powers_w) -> float:
+    acc = 0.0
+    for step_s in powers_w:  # VIOLATION
+        acc = acc + step_s
+    return acc
+
+
+def configure(duration_s: float = 0.0) -> None:
+    del duration_s

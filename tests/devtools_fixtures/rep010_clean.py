@@ -1,0 +1,25 @@
+"""Clean twin for REP010: a seeded, ordered, stateless cell path.
+
+Same shape as the violating fixture, with every race fixed the way the
+rule's messages suggest: state passed explicitly, sets sorted before
+they escape, RNG derived from the cell's own seed.
+"""
+
+import json
+
+from numpy.random import default_rng
+
+
+def helper(key, cache):
+    cache[key] = key  # caller-owned state, not module state
+    return key
+
+
+def probe_cell(spec):
+    rng = default_rng(spec)  # seeded from the cell parameters
+    cache = {}
+    helper(spec, cache)
+    tags = {"a", "b"}
+    ordered = sorted(tags)  # defined order before the set escapes
+    blob = json.dumps({"spec": sorted({spec})})
+    return ordered, blob, rng.random()

@@ -1,0 +1,29 @@
+"""Seeded REP010 violations: nondeterminism on a cell path.
+
+``probe_cell`` matches the cell-callable naming convention, so it and
+everything it calls is on the cross-process determinism boundary.
+Every marked line must yield exactly one REP010 finding.
+"""
+
+import itertools
+import json
+
+from numpy.random import default_rng
+
+_CACHE = {}
+_SERIAL = itertools.count()
+
+
+def helper(key):
+    _CACHE[key] = key  # VIOLATION: mutates module state on a cell path
+    return key
+
+
+def probe_cell(spec):
+    serial = next(_SERIAL)  # VIOLATION: per-process serial counter
+    rng = default_rng()  # VIOLATION: unseeded RNG
+    helper(spec)
+    tags = {"a", "b"}
+    ordered = [t for t in tags]  # VIOLATION: set iteration order
+    blob = json.dumps({"spec": set([spec])})  # VIOLATION: set into sink
+    return serial, ordered, blob, rng.random()

@@ -1,0 +1,16 @@
+"""Clean twin for REP011: declared names, declared prefixes, and a
+runtime-computed name the rule abstains on."""
+
+
+def record(counters, timers, kind):
+    counters.inc("runner.cache_hits")
+    counters.get("engine.run_calls")
+    counters.inc(f"faults.injected.{kind}")
+    with timers.phase("runner.cell"):
+        pass
+    name = compute_name(kind)
+    counters.inc(name)  # fully dynamic: the rule abstains
+
+
+def compute_name(kind):
+    return f"faults.injected.{kind}"

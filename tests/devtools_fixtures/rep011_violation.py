@@ -1,0 +1,13 @@
+"""Seeded REP011 violations: counter/timer names missing from the
+obs contract registry (each is a near-miss of a declared name).
+
+Every marked line must yield exactly one REP011 finding.
+"""
+
+
+def record(counters, timers, kind):
+    counters.inc("runner.cache_hitz")  # VIOLATION: typo of cache_hits
+    counters.get("engine.run_cals")  # VIOLATION: typo of run_calls
+    counters.inc(f"faults.injectd.{kind}")  # VIOLATION: typo'd prefix
+    with timers.phase("runner.cel"):  # VIOLATION: typo of runner.cell
+        pass

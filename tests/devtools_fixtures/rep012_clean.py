@@ -1,0 +1,22 @@
+"""Clean twin for REP012: FAULT and POLICY partition every drop."""
+
+import enum
+
+
+class RequestOutcome(enum.Enum):
+    COMPLETED = "completed"
+    DROPPED_FIREWALL = "dropped_firewall"
+    TIMED_OUT = "timed_out"
+    FAILED_SERVER = "failed_server"
+
+
+FAULT_OUTCOMES = frozenset({RequestOutcome.FAILED_SERVER})
+POLICY_OUTCOMES = frozenset(
+    {RequestOutcome.DROPPED_FIREWALL, RequestOutcome.TIMED_OUT}
+)
+
+
+def classify(outcome):
+    if outcome is RequestOutcome.COMPLETED:
+        return "served"
+    return "fault" if outcome in FAULT_OUTCOMES else "policy"

@@ -1,0 +1,28 @@
+"""Seeded REP012 violations: a broken drop-attribution partition.
+
+The enum and its FAULT/POLICY sets are local to this fixture; the rule
+re-derives the partition from whatever module defines RequestOutcome.
+Every marked line must yield exactly one REP012 finding.
+"""
+
+import enum
+
+
+class RequestOutcome(enum.Enum):
+    COMPLETED = "completed"
+    DROPPED_FIREWALL = "dropped_firewall"
+    TIMED_OUT = "timed_out"  # VIOLATION: claimed by both sets below
+    FAILED_SERVER = "failed_server"
+    DROPPED_ORPHAN = "dropped_orphan"  # VIOLATION: claimed by neither set
+
+
+FAULT_OUTCOMES = frozenset(
+    {RequestOutcome.FAILED_SERVER, RequestOutcome.TIMED_OUT, RequestOutcome.GHOST}  # VIOLATION: GHOST is not a member
+)
+POLICY_OUTCOMES = frozenset(
+    {RequestOutcome.DROPPED_FIREWALL, RequestOutcome.TIMED_OUT}
+)
+
+
+def classify(outcome):
+    return outcome is RequestOutcome.COMPLETD  # VIOLATION: typo reference

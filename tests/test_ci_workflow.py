@@ -54,9 +54,24 @@ def test_every_job_checks_out_and_sets_up_python_with_pip_cache(workflow):
 
 def test_lint_job_runs_all_three_linters(workflow):
     runs = _run_lines(workflow["jobs"]["lint"])
-    assert "python -m repro.devtools.lint src/repro" in runs
+    assert "python -m repro lint src/repro" in runs
+    assert "--format sarif" in runs
+    assert "--baseline lint-baseline.json" in runs
     assert "ruff check" in runs
     assert "mypy" in runs
+
+
+def test_lint_job_uploads_sarif_to_code_scanning(workflow):
+    lint = workflow["jobs"]["lint"]
+    upload = next(
+        step
+        for step in _steps(lint)
+        if step.get("uses", "").startswith("github/codeql-action/upload-sarif@")
+    )
+    # the SARIF must reach code scanning even when the lint step fails
+    assert upload["if"] == "always()"
+    assert upload["with"]["sarif_file"] == "lint.sarif"
+    assert lint["permissions"]["security-events"] == "write"
 
 
 def test_test_job_matrix_covers_supported_pythons(workflow):
@@ -110,3 +125,4 @@ def test_ci_commands_reference_only_existing_paths(workflow):
     assert (root / "scripts" / "check.sh").is_file()
     assert (root / "scripts" / "bench_compare.py").is_file()
     assert (root / "BENCH_baseline.json").is_file()
+    assert (root / "lint-baseline.json").is_file()

@@ -41,6 +41,10 @@ ALL_RULE_IDS = [
     "REP006",
     "REP007",
     "REP008",
+    "REP009",
+    "REP010",
+    "REP011",
+    "REP012",
 ]
 
 
@@ -72,7 +76,7 @@ def test_src_repro_lints_clean():
     assert findings == [], "\n" + render_text(findings)
 
 
-def test_all_eight_rules_registered():
+def test_all_twelve_rules_registered():
     assert [cls.rule_id for cls in registered_rules()] == ALL_RULE_IDS
 
 
