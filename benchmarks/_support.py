@@ -28,7 +28,10 @@ from repro.workloads import TrafficClass
 
 # Scenario constants live in repro.bench (the machine-readable bench
 # driver measures the exact workload these benches assert on); the
-# legacy unsuffixed names are kept as aliases.
+# legacy unsuffixed names are kept as aliases.  Engine selection also
+# comes from repro.bench: one env var (``REPRO_BENCH_ENGINE``) switches
+# both the machine-readable bench and every figure bench between the
+# per-request and batched engines.
 from repro.bench import (
     ATTACK_MIX,
     ATTACK_RATE_RPS as ATTACK_RATE,
@@ -39,6 +42,8 @@ from repro.bench import (
     REGION_RATES_RPS as REGION_RATES,
     REGION_TYPES,
     SEED,
+    bench_engine,
+    resolve_engine,
 )
 
 #: The Table 2 scheme matrix.
@@ -98,10 +103,28 @@ def run_attack_scenario(
     duration: float = DURATION,
     seed: int = SEED,
     config: Optional[SimulationConfig] = None,
+    engine: Optional[str] = None,
 ) -> DataCenterSimulation:
-    """The evaluation scenario: trace-like normal load + DOPE flood."""
+    """The evaluation scenario: trace-like normal load + DOPE flood.
+
+    *engine* picks the execution engine (``scalar``/``batched``/
+    ``fluid``); the default follows ``REPRO_BENCH_ENGINE``.  The figure
+    benches assert on model outputs, which the golden-equivalence
+    contract keeps byte-identical between scalar and batched, so the
+    selection changes wall-clock only.  (These closed-loop floods never
+    satisfy the fluid steadiness proof, so even ``fluid`` stays exact
+    here.)
+    """
     cfg = config or SimulationConfig(budget_level=budget, seed=seed)
-    sim = DataCenterSimulation(cfg, scheme=scheme_factory())
+    engine_mode, engine_fluid = resolve_engine(
+        engine if engine is not None else bench_engine()
+    )
+    sim = DataCenterSimulation(
+        cfg,
+        scheme=scheme_factory(),
+        engine_mode=engine_mode,
+        fluid=engine_fluid,
+    )
     sim.add_normal_traffic(rate_rps=normal_rate)
     if attack:
         sim.add_flood(

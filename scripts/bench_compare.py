@@ -13,6 +13,14 @@ The comparison has two parts:
 * **Headline regression** — the fresh run's headline metric (event
   throughput) must not fall more than ``--threshold`` (default 20%)
   below the baseline's.  Faster-than-baseline is never a failure.
+* **Absolute speedup floor** — the fresh headline must also stay above
+  ``--floor`` events per wall-second (default: 10× the last committed
+  per-request-engine headline).  The relative threshold protects the
+  *current* baseline; the floor protects the aggregate-flow refactor
+  itself — it fails CI the day the batched/fluid path stops being an
+  order of magnitude faster than the old per-request hot loop, even if
+  someone "fixes" that by committing a slower baseline.  Pass
+  ``--floor 0`` to disable (e.g. when comparing scalar-engine runs).
 
 Wall-clock throughput varies across machines, so the committed baseline
 is only a coarse floor — the threshold catches "the event loop got
@@ -33,7 +41,27 @@ sys.path.insert(0, str(_REPO_ROOT / "src"))
 
 from repro.obs import validate_bench_payload  # noqa: E402
 
-__all__ = ["load_payload", "compare_payloads", "main"]
+__all__ = [
+    "LEGACY_HEADLINE_EVENTS_PER_WALL_S",
+    "MIN_SPEEDUP",
+    "DEFAULT_FLOOR",
+    "load_payload",
+    "compare_payloads",
+    "main",
+]
+
+#: The committed smoke headline of the per-request (scalar) engine
+#: before the batched/fluid aggregate-flow refactor, in events per
+#: wall-second.  Kept as the fixed reference the speedup floor is
+#: anchored to — deliberately *not* read from the evolving baseline.
+LEGACY_HEADLINE_EVENTS_PER_WALL_S = 55_389.0
+
+#: The speedup over the per-request engine the default floor enforces.
+MIN_SPEEDUP = 10.0
+
+#: Default ``--floor``: the batched/fluid bench must keep at least a
+#: 10× headline over the old per-request hot loop.
+DEFAULT_FLOOR = LEGACY_HEADLINE_EVENTS_PER_WALL_S * MIN_SPEEDUP
 
 
 def load_payload(path: Path) -> Tuple[Optional[Dict[str, object]], List[str]]:
@@ -60,8 +88,14 @@ def compare_payloads(
     baseline: Dict[str, object],
     fresh: Dict[str, object],
     threshold: float = 0.20,
+    floor: Optional[float] = None,
 ) -> List[str]:
-    """Regression check; returns a list of failure messages (empty = pass)."""
+    """Regression check; returns a list of failure messages (empty = pass).
+
+    *floor*, when positive, is an absolute lower bound on the fresh
+    headline value in addition to the relative *threshold* against the
+    baseline.
+    """
     if not 0.0 < threshold < 1.0:
         raise ValueError(f"threshold must be in (0, 1), got {threshold}")
     failures = []
@@ -71,6 +105,18 @@ def compare_payloads(
         failures.append(
             f"mode mismatch: baseline is {baseline['mode']!r}, "
             f"fresh is {fresh['mode']!r}"
+        )
+    # Headlines are engine-dependent; comparing across engines is a
+    # configuration error, not a regression.  Pre-refactor payloads
+    # carry no engine field, so the check is conditional.
+    if (
+        "engine" in baseline
+        and "engine" in fresh
+        and baseline["engine"] != fresh["engine"]
+    ):
+        failures.append(
+            f"engine mismatch: baseline ran {baseline['engine']!r}, "
+            f"fresh ran {fresh['engine']!r}"
         )
     if base_head["metric"] != fresh_head["metric"]:
         failures.append(
@@ -83,13 +129,20 @@ def compare_payloads(
     if base_value <= 0.0:
         failures.append(f"baseline headline value must be positive, got {base_value}")
         return failures
-    floor = base_value * (1.0 - threshold)
-    if fresh_value < floor:
+    relative_floor = base_value * (1.0 - threshold)
+    if fresh_value < relative_floor:
         drop = 1.0 - fresh_value / base_value
         failures.append(
             f"headline regression: {base_head['metric']} fell "
             f"{drop:.1%} (baseline {base_value:.0f}, fresh {fresh_value:.0f}, "
-            f"allowed floor {floor:.0f} at threshold {threshold:.0%})"
+            f"allowed floor {relative_floor:.0f} at threshold {threshold:.0%})"
+        )
+    if floor is not None and floor > 0.0 and fresh_value < floor:
+        failures.append(
+            f"speedup floor violated: {base_head['metric']} "
+            f"{fresh_value:.0f} is below the absolute floor {floor:.0f} "
+            f"({MIN_SPEEDUP:.0f}x the {LEGACY_HEADLINE_EVENTS_PER_WALL_S:.0f} "
+            f"per-request-engine headline)"
         )
     return failures
 
@@ -107,13 +160,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=0.20,
         help="allowed fractional headline drop (default: 0.20)",
     )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=DEFAULT_FLOOR,
+        help=(
+            "absolute headline floor in events per wall-second "
+            f"(default: {DEFAULT_FLOOR:.0f} = {MIN_SPEEDUP:.0f}x the "
+            "pre-refactor per-request headline; 0 disables)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     baseline, errors = load_payload(args.baseline)
     fresh, fresh_errors = load_payload(args.fresh)
     errors += fresh_errors
     if baseline is not None and fresh is not None:
-        errors += compare_payloads(baseline, fresh, threshold=args.threshold)
+        errors += compare_payloads(
+            baseline, fresh, threshold=args.threshold, floor=args.floor
+        )
     if errors:
         for line in errors:
             print(f"FAIL: {line}", file=sys.stderr)

@@ -41,7 +41,8 @@ def records_to_csv(
     """Write completion records as CSV; returns the row count.
 
     Columns: ``request_id, type, class, outcome, arrival_s, finish_s,
-    response_ms, server``.
+    response_ms, server, weight``.  Aggregate (fluid-mode) records
+    export with ``request_id = -1`` and their cohort weight.
     """
     fh, owned = _open(target)
     try:
@@ -56,6 +57,7 @@ def records_to_csv(
                 "finish_s",
                 "response_ms",
                 "server",
+                "weight",
             ]
         )
         n = 0
@@ -70,6 +72,7 @@ def records_to_csv(
                     f"{r.finish_time_s:.6f}",
                     f"{r.response_time * 1e3:.3f}" if r.completed else "",
                     r.server_id if r.server_id is not None else "",
+                    r.weight,
                 ]
             )
             n += 1
@@ -135,16 +138,16 @@ def collector_summary(collector: MetricsCollector) -> dict:
     from ..network.request import RequestOutcome
     from ..workloads.catalog import TrafficClass
 
-    summary: dict = {"total": len(collector), "by_class": {}}
+    summary: dict = {"total": collector.total(), "by_class": {}}
     for cls in TrafficClass:
         records = collector.filtered(traffic_class=cls)
         if not records:
             continue
         outcomes = {o.value: 0 for o in RequestOutcome}
         for r in records:
-            outcomes[r.outcome.value] += 1
+            outcomes[r.outcome.value] += r.weight
         summary["by_class"][cls.value] = {
-            "count": len(records),
+            "count": sum(r.weight for r in records),
             "outcomes": {k: v for k, v in outcomes.items() if v},
             "latency": LatencyStats.from_records(records).as_millis(),
         }

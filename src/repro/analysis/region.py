@@ -27,6 +27,7 @@ from ..obs import Recorder
 from ..power.budget import BudgetLevel
 from ..runner import CellSpec, ResultCache, canonical_json, run_cells
 from ..sim.config import SimulationConfig
+from ..sim.engine import engine_from_env, resolve_engine_selection
 from ..sim.simulation import DataCenterSimulation
 from ..workloads.catalog import RequestType
 
@@ -139,9 +140,20 @@ class DopeRegionAnalyzer:
         self.background_rate_rps = float(background_rate_rps)
 
     def probe(self, rtype: RequestType, rate_rps: float) -> RegionCell:
-        """Run one cell and classify it."""
+        """Run one cell and classify it.
+
+        The probe honours ``REPRO_BENCH_ENGINE`` but defaults to the
+        *batched* engine rather than fluid: sweep cells are model
+        measurements, and batched is byte-identical to the scalar
+        reference while fluid is only statistically faithful.
+        """
         check_positive("rate_rps", rate_rps)
-        sim = DataCenterSimulation(self.config)
+        engine_mode, fluid = resolve_engine_selection(
+            engine_from_env(default="batched")
+        )
+        sim = DataCenterSimulation(
+            self.config, engine_mode=engine_mode, fluid=fluid
+        )
         sim.add_normal_traffic(rate_rps=self.background_rate_rps, num_users=50)
         sim.add_flood(
             mix=rtype,

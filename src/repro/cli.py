@@ -44,7 +44,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .analysis import DopeRegionAnalyzer, format_table
-from .bench import SEED as BENCH_SEED
+from .bench import BENCH_ENGINES, SEED as BENCH_SEED
 from .devtools import lint as devtools_lint
 from .bench import run_bench
 from .core import AntiDopeScheme
@@ -199,6 +199,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the JSON payload here (default: stdout)",
+    )
+    bench.add_argument(
+        "--engine",
+        choices=list(BENCH_ENGINES),
+        default=None,
+        help=(
+            "execution engine (default: $REPRO_BENCH_ENGINE or 'fluid')"
+        ),
     )
 
     chaos = sub.add_parser(
@@ -418,7 +426,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     """``repro bench`` — emit the machine-readable benchmark payload."""
     mode = "full" if args.full else "smoke"
     name = args.name if args.name else f"bench-{mode}"
-    payload = run_bench(mode=mode, seed=args.seed, name=name)
+    payload = run_bench(mode=mode, seed=args.seed, name=name, engine=args.engine)
     text = json.dumps(payload, indent=2, sort_keys=True, allow_nan=False)
     if args.out:
         Path(args.out).write_text(text + "\n")

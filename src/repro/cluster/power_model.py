@@ -22,12 +22,15 @@ This separation is the mechanism behind the paper's key observations:
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
 
 from .._validation import check_fraction, check_int, check_positive
 from ..workloads.catalog import RequestType
+from .dvfs import FrequencyLadder
 
-__all__ = ["ServerPowerModel"]
+__all__ = ["ServerPowerModel", "TypeSlotRegistry", "PowerEvalTable"]
 
 
 class ServerPowerModel:
@@ -109,6 +112,27 @@ class ServerPowerModel:
         )
         return self.idle_power(freq_ratio) + self._per_worker * dyn
 
+    def power_from_counts(
+        self,
+        counts: Sequence[int],
+        factor_row: Sequence[float],
+        idle_w: float,
+    ) -> float:
+        """Total server power from per-type-slot busy-worker counts.
+
+        The count-based hot path: *counts* holds how many workers run
+        each registered type and *factor_row* the cached
+        ``dynamic_power_factor`` per slot at the server's level (see
+        :class:`PowerEvalTable`).  The accumulation order — slot 0, 1,
+        2, … with ``count * factor`` terms — is the contract shared
+        with the vectorised rack path, so scalar and batched modes
+        produce bit-identical floats.
+        """
+        dyn = 0.0
+        for i in range(len(counts)):
+            dyn += counts[i] * factor_row[i]
+        return idle_w + self._per_worker * dyn
+
     # ------------------------------------------------------------------
     # Closed-form helpers used by planners and offline profiling
     # ------------------------------------------------------------------
@@ -140,3 +164,148 @@ class ServerPowerModel:
             f"ServerPowerModel(nameplate={self.nameplate_w:.0f}W, "
             f"idle={self._idle_at_max:.0f}W, workers={self.num_workers})"
         )
+
+
+class TypeSlotRegistry:
+    """Append-only mapping of request types to dense slot indices.
+
+    One registry is shared by every server of a rack, so all of them
+    agree on one canonical slot order.  Slots are assigned in
+    first-seen order; since which request starts service when is fully
+    seed-determined (and identical across execution modes by the
+    equivalence contract), the slot order is deterministic too.
+
+    Types are keyed by ``name``: registering a *different* type under
+    an already-registered name is rejected, because the cached factor
+    tables would silently serve the wrong physics.
+    """
+
+    __slots__ = ("types", "_slots")
+
+    def __init__(self) -> None:
+        self.types: List[RequestType] = []
+        self._slots: Dict[str, int] = {}
+
+    def slot_of(self, rtype: RequestType) -> int:
+        """Slot index of *rtype*, registering it on first sight."""
+        slot = self._slots.get(rtype.name)
+        if slot is not None:
+            known = self.types[slot]
+            if known is not rtype and known != rtype:
+                raise ValueError(
+                    f"request type name {rtype.name!r} re-registered with "
+                    "different parameters; type names must be unique per "
+                    "simulation"
+                )
+            return slot
+        slot = len(self.types)
+        self.types.append(rtype)
+        self._slots[rtype.name] = slot
+        return slot
+
+    def __len__(self) -> int:
+        return len(self.types)
+
+
+class PowerEvalTable:
+    """Cached per-(type-slot, DVFS-level) physics for one (model, ladder).
+
+    The hot loops never call :meth:`RequestType.dynamic_power_factor` /
+    :meth:`RequestType.speedup` directly — they read rows cached here,
+    one float per registered type slot, materialised lazily per ladder
+    level.  The cached values are exactly the floats the uncached calls
+    would produce, so swapping the table in changes no result.
+
+    :meth:`factor_matrix` exposes the same cache as a dense
+    ``(num_slots, num_levels)`` array for the batched mode's vectorised
+    rack evaluation; because the matrix is filled from the identical
+    cached rows, scalar and vector paths share every input bit.
+    """
+
+    __slots__ = (
+        "model",
+        "ladder",
+        "registry",
+        "_factor_rows",
+        "_speedup_rows",
+        "_idle_by_level",
+        "_matrix",
+        "_matrix_slots",
+    )
+
+    def __init__(
+        self,
+        model: ServerPowerModel,
+        ladder: FrequencyLadder,
+        registry: Optional[TypeSlotRegistry] = None,
+    ) -> None:
+        self.model = model
+        self.ladder = ladder
+        self.registry = registry if registry is not None else TypeSlotRegistry()
+        self._factor_rows: Dict[int, List[float]] = {}
+        self._speedup_rows: Dict[int, List[float]] = {}
+        self._idle_by_level: List[float] = [
+            model.idle_power(ladder.ratio(level))
+            for level in range(ladder.max_level + 1)
+        ]
+        self._matrix: Optional[np.ndarray] = None
+        self._matrix_slots = -1
+
+    def slot_of(self, rtype: RequestType) -> int:
+        """Delegate to the shared registry."""
+        return self.registry.slot_of(rtype)
+
+    def idle_power_at(self, level: int) -> float:
+        """Idle floor (watts) at ladder *level*."""
+        return self._idle_by_level[level]
+
+    def factor_row(self, level: int) -> List[float]:
+        """``dynamic_power_factor`` per slot at *level* (grown lazily)."""
+        row = self._factor_rows.get(level)
+        if row is None:
+            row = []
+            self._factor_rows[level] = row
+        types = self.registry.types
+        if len(row) < len(types):
+            ratio = self.ladder.ratio(level)
+            alpha = self.model.alpha
+            for rtype in types[len(row):]:
+                row.append(rtype.dynamic_power_factor(ratio, alpha=alpha))
+        return row
+
+    def speedup_row(self, level: int) -> List[float]:
+        """``speedup`` per slot at *level* (grown lazily)."""
+        row = self._speedup_rows.get(level)
+        if row is None:
+            row = []
+            self._speedup_rows[level] = row
+        types = self.registry.types
+        if len(row) < len(types):
+            ratio = self.ladder.ratio(level)
+            for rtype in types[len(row):]:
+                row.append(rtype.speedup(ratio))
+        return row
+
+    def idle_array(self) -> np.ndarray:
+        """Idle floor per level as an array (vector path)."""
+        return np.asarray(self._idle_by_level)
+
+    def factor_matrix(self) -> np.ndarray:
+        """Dense ``(num_slots, num_levels)`` factor matrix (vector path).
+
+        Rebuilt only when the registry has grown since the last call;
+        entries are copied from the scalar rows so both paths read the
+        same floats.
+        """
+        num_slots = len(self.registry)
+        if self._matrix is None or self._matrix_slots != num_slots:
+            num_levels = self.ladder.max_level + 1
+            rows = [self.factor_row(level) for level in range(num_levels)]
+            matrix = np.empty((num_slots, num_levels))
+            for level in range(num_levels):
+                row = rows[level]
+                for slot in range(num_slots):
+                    matrix[slot, level] = row[slot]
+            self._matrix = matrix
+            self._matrix_slots = num_slots
+        return self._matrix

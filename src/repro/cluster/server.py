@@ -8,6 +8,13 @@ frequency drop would.  Power and utilisation are piecewise constant
 between state changes, so the energy integral accrued at every state
 change is exact, not sampled.
 
+Power is evaluated from *per-type busy-worker counts* against rows of a
+shared :class:`~repro.cluster.power_model.PowerEvalTable`, and the
+resulting watts are cached until the next state change — the same float
+the old per-request iteration produced for a single-type server, and
+the canonical accumulation order (type-slot 0, 1, 2, …) that the
+batched mode's vectorised rack evaluation reproduces bit-for-bit.
+
 The server is deliberately policy-free: power managers act on it only
 through :meth:`Server.set_level`, mirroring how RAPL/ACPI expose a
 per-node V/F knob to cluster controllers.
@@ -15,9 +22,8 @@ per-node V/F knob to cluster controllers.
 
 from __future__ import annotations
 
-import math
 from collections import deque
-from typing import Callable, Deque, Dict, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 import numpy as np
 
@@ -26,7 +32,7 @@ from ..network.request import Request, RequestOutcome
 from ..sim.engine import EventEngine
 from ..sim.events import Event
 from .dvfs import FrequencyLadder
-from .power_model import ServerPowerModel
+from .power_model import PowerEvalTable, ServerPowerModel
 
 __all__ = ["Server"]
 
@@ -37,12 +43,15 @@ ShedSink = Callable[[Request], None]
 class _ActiveEntry:
     """Book-keeping for one in-service request."""
 
-    __slots__ = ("request", "event", "last_resume")
+    __slots__ = ("request", "event", "last_resume", "slot")
 
-    def __init__(self, request: Request, event: Event, last_resume: float) -> None:
+    def __init__(
+        self, request: Request, event: Event, last_resume: float, slot: int
+    ) -> None:
         self.request = request
         self.event = event
         self.last_resume = last_resume
+        self.slot = slot
 
 
 class Server:
@@ -70,6 +79,10 @@ class Server:
         whose wait exceeds it is abandoned (``TIMED_OUT``) when a
         worker would otherwise pick it up — the client has long since
         given up.  ``None`` disables timeouts.
+    eval_table:
+        Cached physics shared with the rest of the rack.  Servers of
+        one rack must share a table so their type→slot maps agree; a
+        standalone server gets a private one.
     """
 
     def __init__(
@@ -82,6 +95,7 @@ class Server:
         queue_capacity: int = 512,
         completion_sink: Optional[CompletionSink] = None,
         queue_timeout_s: Optional[float] = None,
+        eval_table: Optional[PowerEvalTable] = None,
     ) -> None:
         check_int("server_id", server_id, minimum=0)
         check_int("queue_capacity", queue_capacity, minimum=0)
@@ -91,10 +105,22 @@ class Server:
             )
         self.server_id = server_id
         self.engine = engine
+        self._clock = engine.clock
         self._obs = engine.obs
+        self._counters = engine.obs.counters
         self.rng = rng
         self.power_model = power_model or ServerPowerModel()
         self.ladder = ladder or FrequencyLadder()
+        if eval_table is None:
+            eval_table = PowerEvalTable(self.power_model, self.ladder)
+        elif eval_table.model is not self.power_model or (
+            eval_table.ladder is not self.ladder
+        ):
+            raise ValueError(
+                "eval_table must be built from this server's power model "
+                "and ladder"
+            )
+        self.eval_table = eval_table
         self.queue_capacity = queue_capacity
         self.completion_sink = completion_sink
         self.queue_timeout_s = queue_timeout_s
@@ -102,8 +128,25 @@ class Server:
         self.level = self.ladder.max_level
         self.powered_on = True
         self.failed = False
+        #: Plain attribute (kept in sync by the three health mutators)
+        #: so the NLB's per-dispatch health scan is one load, not a
+        #: property call.
+        self.healthy = True
         self._queue: Deque[Request] = deque()
         self._active: Dict[int, _ActiveEntry] = {}
+
+        # Busy workers per type slot, plus the cached physics rows for
+        # the current level.  The rows grow in place as new types
+        # register, and are re-fetched whenever ``_counts`` grows, so
+        # ``len(row) >= len(self._counts)`` always holds.
+        self._counts: List[int] = []
+        self._factor_row: List[float] = eval_table.factor_row(self.level)
+        self._speedup_row: List[float] = eval_table.speedup_row(self.level)
+        self._idle_w: float = eval_table.idle_power_at(self.level)
+
+        # Cached instantaneous power; invalidated by every state change.
+        self._power_w = self._idle_w
+        self._power_dirty = False
 
         # Exact piecewise-constant integrals.
         self._energy_j = 0.0
@@ -140,11 +183,6 @@ class Server:
         return len(self._queue) + len(self._active)
 
     @property
-    def healthy(self) -> bool:
-        """True when the server can accept traffic (powered on, not crashed)."""
-        return self.powered_on and not self.failed
-
-    @property
     def freq_ratio(self) -> float:
         """Current ``f / f_max``."""
         return self.ladder.ratio(self.level)
@@ -156,11 +194,26 @@ class Server:
 
     def current_power(self) -> float:
         """Instantaneous power draw in watts (zero when off or crashed)."""
-        if not self.powered_on or self.failed:
+        if not self.healthy:
             return 0.0
-        self._obs.counters.inc("cluster.power_model_evals")
-        return self.power_model.power(
-            (e.request.rtype for e in self._active.values()), self.freq_ratio
+        if self._power_dirty:
+            self._counters.inc("cluster.power_model_evals")
+            self._power_w = self.power_model.power_from_counts(
+                self._counts, self._factor_row, self._idle_w
+            )
+            self._power_dirty = False
+        return self._power_w
+
+    def power_at_level(self, level: int) -> float:
+        """Power the *current* load would draw at ladder *level*.
+
+        Used by capping planners to rank candidate levels.  Note: no
+        health check — a crashed server reports its idle floor here, as
+        the planner's model (which cannot see faults) always has.
+        """
+        table = self.eval_table
+        return self.power_model.power_from_counts(
+            self._counts, table.factor_row(level), table.idle_power_at(level)
         )
 
     def energy_joules(self) -> float:
@@ -183,10 +236,10 @@ class Server:
         full; the caller is responsible for recording the drop outcome.
         """
         request.server_id = self.server_id
-        if not self.powered_on or self.failed:
+        if not self.healthy:
             self.rejected += 1
             return False
-        if len(self._active) < self.num_workers:
+        if len(self._active) < self.power_model.num_workers:
             self._start(request)
             return True
         if len(self._queue) >= self.queue_capacity:
@@ -197,22 +250,31 @@ class Server:
 
     def _start(self, request: Request) -> None:
         self._accrue()
-        now = self.engine.now
+        now = self._clock._now
         request.start_service_time_s = now
         request.remaining_work = self._sample_work(request)
-        speed = request.rtype.speedup(self.freq_ratio)
-        delay_s = request.remaining_work / speed
-        event = self.engine.schedule(delay_s, lambda r=request: self._finish(r))
-        self._active[request.request_id] = _ActiveEntry(request, event, now)
+        slot = self.eval_table.slot_of(request.rtype)
+        counts = self._counts
+        if slot >= len(counts):
+            counts.extend([0] * (slot + 1 - len(counts)))
+            # Re-fetch the rows: fetching extends them in place to the
+            # registry's new size.
+            self._factor_row = self.eval_table.factor_row(self.level)
+            self._speedup_row = self.eval_table.speedup_row(self.level)
+        counts[slot] += 1
+        self._power_dirty = True
+        delay_s = request.remaining_work / self._speedup_row[slot]
+        event = self.engine.schedule(delay_s, self._finish, arg=request)
+        self._active[request.request_id] = _ActiveEntry(request, event, now, slot)
 
     def _sample_work(self, request: Request) -> float:
-        cv = request.rtype.service_cv
-        base = request.rtype.base_service_s
-        if cv <= 0:
-            return base
-        sigma2 = math.log(1.0 + cv * cv)
-        mu = -0.5 * sigma2
-        return base * float(self.rng.lognormal(mean=mu, sigma=math.sqrt(sigma2)))
+        rtype = request.rtype
+        sigma = rtype._ln_sigma
+        if sigma > 0.0:
+            return rtype.base_service_s * float(
+                self.rng.lognormal(mean=rtype._ln_mu, sigma=sigma)
+            )
+        return rtype.base_service_s
 
     def _finish(self, request: Request) -> None:
         entry = self._active.get(request.request_id)
@@ -222,8 +284,10 @@ class Server:
         # final service slice is charged at the busy power level.
         self._accrue()
         del self._active[request.request_id]
+        self._counts[entry.slot] -= 1
+        self._power_dirty = True
         self.completed += 1
-        now = self.engine.now
+        now = self._clock._now
         if self.completion_sink is not None:
             self.completion_sink(request, RequestOutcome.COMPLETED, now)
         if request.on_terminal is not None:
@@ -232,8 +296,8 @@ class Server:
 
     def _pull_next(self) -> None:
         """Promote queued requests, abandoning ones past their timeout."""
-        now = self.engine.now
-        while self._queue and len(self._active) < self.num_workers:
+        now = self._clock._now
+        while self._queue and len(self._active) < self.power_model.num_workers:
             queued = self._queue.popleft()
             if (
                 self.queue_timeout_s is not None
@@ -261,25 +325,26 @@ class Server:
         level = self.ladder.clamp(level)
         if level == self.level:
             return
-        self._obs.counters.inc("cluster.dvfs_transitions")
+        self._counters.inc("cluster.dvfs_transitions")
         self._accrue()
-        now = self.engine.now
-        old_ratio = self.freq_ratio
+        now = self._clock._now
+        old_speedups = self._speedup_row
         self.level = level
-        new_ratio = self.freq_ratio
+        table = self.eval_table
+        self._factor_row = table.factor_row(level)
+        self._speedup_row = table.speedup_row(level)
+        self._idle_w = table.idle_power_at(level)
+        self._power_dirty = True
+        new_speedups = self._speedup_row
         for entry in self._active.values():
             request = entry.request
-            old_speed = request.rtype.speedup(old_ratio)
             elapsed_s = now - entry.last_resume
             request.remaining_work = max(
-                0.0, request.remaining_work - elapsed_s * old_speed
+                0.0, request.remaining_work - elapsed_s * old_speedups[entry.slot]
             )
             entry.event.cancel()
-            new_speed = request.rtype.speedup(new_ratio)
-            delay_s = request.remaining_work / new_speed
-            entry.event = self.engine.schedule(
-                delay_s, lambda r=request: self._finish(r)
-            )
+            delay_s = request.remaining_work / new_speedups[entry.slot]
+            entry.event = self.engine.schedule(delay_s, self._finish, arg=request)
             entry.last_resume = now
 
     def set_powered(self, on: bool) -> None:
@@ -298,6 +363,8 @@ class Server:
             )
         self._accrue()
         self.powered_on = on
+        self.healthy = on and not self.failed
+        self._power_dirty = True
 
     # ------------------------------------------------------------------
     # Faults
@@ -318,25 +385,28 @@ class Server:
         # Charge energy/busy time at the pre-crash power level first.
         self._accrue()
         self.failed = True
+        self.healthy = False
         self.crashes += 1
-        self._obs.counters.inc("cluster.server_failures")
-        now = self.engine.now
+        self._counters.inc("cluster.server_failures")
+        now = self._clock._now
         lost = []
         for entry in self._active.values():
             entry.event.cancel()
             lost.append(entry.request)
         self._active.clear()
+        self._counts = [0] * len(self._counts)
+        self._power_dirty = True
         shed = list(self._queue)
         self._queue.clear()
         for request in lost:
-            self._obs.counters.inc("cluster.requests_lost_to_crash")
+            self._counters.inc("cluster.requests_lost_to_crash")
             self._terminate(request, RequestOutcome.FAILED_SERVER, now)
         for request in shed:
             if shed_sink is not None:
-                self._obs.counters.inc("cluster.requests_shed_to_nlb")
+                self._counters.inc("cluster.requests_shed_to_nlb")
                 shed_sink(request)
             else:
-                self._obs.counters.inc("cluster.requests_lost_to_crash")
+                self._counters.inc("cluster.requests_lost_to_crash")
                 self._terminate(request, RequestOutcome.FAILED_SERVER, now)
 
     def recover(self) -> None:
@@ -346,7 +416,9 @@ class Server:
         # Downtime accrues at zero power.
         self._accrue()
         self.failed = False
-        self._obs.counters.inc("cluster.server_recoveries")
+        self.healthy = self.powered_on
+        self._power_dirty = True
+        self._counters.inc("cluster.server_recoveries")
 
     def _terminate(
         self, request: Request, outcome: RequestOutcome, now: float
@@ -369,7 +441,7 @@ class Server:
     # Accounting
     # ------------------------------------------------------------------
     def _accrue(self) -> None:
-        now = self.engine.now
+        now = self._clock._now
         dt = now - self._last_accrual
         if dt <= 0:
             self._last_accrual = now

@@ -85,16 +85,17 @@ def availability(
     check_positive("sla_s", sla_s)
     offered = in_sla = late = dropped = dropped_fault = 0
     for record in records:
-        offered += 1
+        weight = record.weight
+        offered += weight
         if record.outcome is RequestOutcome.COMPLETED:
             if record.response_time <= sla_s:
-                in_sla += 1
+                in_sla += weight
             else:
-                late += 1
+                late += weight
         else:
-            dropped += 1
+            dropped += weight
             if record.outcome in FAULT_OUTCOMES:
-                dropped_fault += 1
+                dropped_fault += weight
     return AvailabilityReport(
         offered=offered,
         served_within_sla=in_sla,

@@ -41,6 +41,29 @@ class MetricsCollector:
         """
         self.records.append(CompletionRecord(request, outcome, time_s))
 
+    def sink_bulk(
+        self,
+        count: int,
+        type_name: str,
+        traffic_class: TrafficClass,
+        outcome: RequestOutcome,
+        time_s: float,
+    ) -> None:
+        """Record *count* identical terminals as one aggregate record.
+
+        The fluid-drain path lands here: a whole analytically absorbed
+        cohort becomes a single weighted record instead of *count*
+        per-request ones.  Count-style queries (:meth:`outcome_counts`,
+        :meth:`drop_attribution`, :meth:`total`, availability) sum
+        weights, so the aggregate is indistinguishable from its
+        expansion everywhere except record-list length.
+        """
+        self.records.append(
+            CompletionRecord.aggregate(
+                count, type_name, traffic_class, outcome, time_s
+            )
+        )
+
     # ------------------------------------------------------------------
     # Filters
     # ------------------------------------------------------------------
@@ -103,7 +126,7 @@ class MetricsCollector:
         for r in self.filtered(
             traffic_class=traffic_class, start_s=start_s, end_s=end_s
         ):
-            counts[r.outcome] += 1
+            counts[r.outcome] += r.weight
         return counts
 
     def drop_attribution(
@@ -127,16 +150,18 @@ class MetricsCollector:
             if r.outcome is RequestOutcome.COMPLETED:
                 continue
             if r.outcome in FAULT_OUTCOMES:
-                fault += 1
+                fault += r.weight
             else:
-                policy += 1
+                policy += r.weight
         return {"dropped_policy": policy, "dropped_fault": fault}
 
     def total(self, traffic_class: Optional[TrafficClass] = None) -> int:
-        """Number of matching records."""
+        """Number of matching requests (aggregate records count fully)."""
         if traffic_class is None:
-            return len(self.records)
-        return sum(1 for r in self.records if r.traffic_class is traffic_class)
+            return sum(r.weight for r in self.records)
+        return sum(
+            r.weight for r in self.records if r.traffic_class is traffic_class
+        )
 
     def clear(self) -> None:
         """Drop all records (reuse across warm-up phases)."""

@@ -91,8 +91,8 @@ class LatencyTimeline:
                 TimelineBucket(
                     start_s=lo + i * bucket_s,
                     end_s=lo + (i + 1) * bucket_s,
-                    offered=len(bucket_records),
-                    completed=len(completed),
+                    offered=sum(r.weight for r in bucket_records),
+                    completed=sum(r.weight for r in completed),
                     stats=LatencyStats.from_records(completed),
                 )
             )

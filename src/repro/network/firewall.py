@@ -20,7 +20,7 @@ source and an explicit poll event driven by the simulation engine.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from .._validation import check_positive
 from ..sim.engine import EventEngine
@@ -138,6 +138,40 @@ class RateLimitFirewall:
         t = self._now() if now is None else now
         until = self._banned_until.get(source_id)
         return until is not None and t < until
+
+    def ban_horizon(
+        self, source_ids: Iterable[int], now: Optional[float] = None
+    ) -> Optional[float]:
+        """Earliest ban expiry among *source_ids*, if all are banned.
+
+        Returns the time until which **every** given source is
+        guaranteed to be rejected at admission, or ``None`` when any of
+        them is currently admissible (or *source_ids* is empty).  The
+        fluid-mode drain uses this as its proof of steadiness: up to
+        the horizon, arrivals from the pool deterministically take the
+        firewall-drop path.
+        """
+        banned_until = self._banned_until
+        if not banned_until:
+            return None
+        t = self._now() if now is None else now
+        horizon: Optional[float] = None
+        for source_id in source_ids:
+            until = banned_until.get(source_id)
+            if until is None or until <= t:
+                return None
+            if horizon is None or until < horizon:
+                horizon = until
+        return horizon
+
+    def record_bulk_rejections(self, count: int) -> None:
+        """Account *count* pre-aggregated rejections (fluid-drain path).
+
+        Banned-source rejections do not touch window counts, so a bulk
+        rejection is pure stats bookkeeping — identical in effect to
+        *count* individual :meth:`admit` calls against banned sources.
+        """
+        self.stats.rejected += count
 
     def banned_sources(self, now: Optional[float] = None) -> Set[int]:
         """Set of sources blocked at *now*."""

@@ -40,6 +40,14 @@ DropSink = Callable[[Request, RequestOutcome, float], None]
 #: ``scheduler(delay_s, callback)`` — defer a callback (engine.schedule).
 Scheduler = Callable[[float, Callable[[], None]], object]
 
+#: Per-outcome drop-counter names, precomputed so the drop path does no
+#: per-request string formatting.  The tails match the
+#: ``network.nlb_dropped.`` prefix declared in ``repro.obs.contract``.
+_DROP_COUNTER_NAME = {
+    outcome: f"network.nlb_dropped.{outcome.name.lower()}"
+    for outcome in RequestOutcome
+}
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -166,6 +174,7 @@ class NetworkLoadBalancer:
         self.drop_sink = drop_sink
         self._now = now or (lambda: 0.0)
         self._obs = obs if obs is not None else Recorder()
+        self._counters = self._obs.counters
         self.retry_policy = retry_policy
         self._scheduler = scheduler
         self.forwarded = 0
@@ -208,7 +217,7 @@ class NetworkLoadBalancer:
         charge them again.
         """
         self.rerouted += 1
-        self._obs.counters.inc("network.nlb_rerouted")
+        self._counters.inc("network.nlb_rerouted")
         return self._forward(request, self._now())
 
     def _forward(self, request: Request, now: float) -> bool:
@@ -221,7 +230,7 @@ class NetworkLoadBalancer:
             self._drop(request, RequestOutcome.DROPPED_QUEUE_FULL, now)
             return False
         self.forwarded += 1
-        self._obs.counters.inc("network.nlb_forwarded")
+        self._counters.inc("network.nlb_forwarded")
         return True
 
     def _retry_or_drop(self, request: Request, now: float) -> bool:
@@ -234,7 +243,7 @@ class NetworkLoadBalancer:
         ):
             attempt = request.retries
             request.retries += 1
-            self._obs.counters.inc("network.nlb_retries")
+            self._counters.inc("network.nlb_retries")
             self._scheduler(
                 policy.delay_for(attempt),
                 lambda r=request: self._forward(r, self._now()),
@@ -243,9 +252,22 @@ class NetworkLoadBalancer:
         self._drop(request, RequestOutcome.DROPPED_NO_BACKEND, now)
         return False
 
+    def drop_bulk(self, count: int, outcome: RequestOutcome) -> None:
+        """Account *count* pre-aggregated drops (fluid-drain path).
+
+        The fluid drain absorbs whole cohorts before they reach
+        :meth:`dispatch`; this keeps the balancer's drop tallies and
+        the per-outcome counters consistent with what *count*
+        individual rejections would have recorded.  Terminal records
+        are the drain's job (it writes one aggregate record instead of
+        *count* per-request ones).
+        """
+        self.dropped += count
+        self._counters.inc(_DROP_COUNTER_NAME[outcome], count)
+
     def _drop(self, request: Request, outcome: RequestOutcome, now: float) -> None:
         self.dropped += 1
-        self._obs.counters.inc(f"network.nlb_dropped.{outcome.name.lower()}")
+        self._counters.inc(_DROP_COUNTER_NAME[outcome])
         if self.drop_sink is not None:
             self.drop_sink(request, outcome, now)
         if request.on_terminal is not None:

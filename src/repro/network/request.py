@@ -138,7 +138,15 @@ class Request:
 
 
 class CompletionRecord:
-    """Flat terminal record of one request, consumed by the metrics layer."""
+    """Flat terminal record of one request, consumed by the metrics layer.
+
+    A record normally stands for exactly one request (``weight == 1``).
+    The fluid execution mode additionally emits *aggregate* records
+    (:meth:`aggregate`) standing for a whole analytically integrated
+    cohort — same shape, ``weight == n``, no materialised request id.
+    Metrics that count requests sum weights; latency statistics are
+    untouched because aggregate records only ever describe drops.
+    """
 
     __slots__ = (
         "request_id",
@@ -148,6 +156,7 @@ class CompletionRecord:
         "arrival_time_s",
         "finish_time_s",
         "server_id",
+        "weight",
     )
 
     def __init__(
@@ -163,6 +172,37 @@ class CompletionRecord:
         self.arrival_time_s = request.arrival_time_s
         self.finish_time_s = finish_time_s
         self.server_id = request.server_id
+        self.weight = 1
+
+    @classmethod
+    def aggregate(
+        cls,
+        count: int,
+        type_name: str,
+        traffic_class: TrafficClass,
+        outcome: RequestOutcome,
+        time_s: float,
+    ) -> "CompletionRecord":
+        """Record standing for *count* identical requests at once.
+
+        Aggregate records carry ``request_id = -1``: the requests they
+        stand for were absorbed by a fluid segment and their per-request
+        ids were never materialised (the lazy-id contract — ids exist
+        only where outcomes diverge, and inside an aggregate they
+        provably do not).
+        """
+        if count < 1:
+            raise ValueError(f"aggregate count must be >= 1, got {count}")
+        record = cls.__new__(cls)
+        record.request_id = -1
+        record.type_name = type_name
+        record.traffic_class = traffic_class
+        record.outcome = outcome
+        record.arrival_time_s = time_s
+        record.finish_time_s = time_s
+        record.server_id = None
+        record.weight = int(count)
+        return record
 
     @property
     def response_time(self) -> float:

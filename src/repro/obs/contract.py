@@ -24,6 +24,14 @@ archive.
 Names with a runtime-variable tail (per-fault-kind, per-outcome) are
 declared by prefix in :data:`COUNTER_PREFIXES`; the static rule checks
 the literal head of the f-string against these.
+
+A second axis splits the counters themselves: most count *model*
+events (arrivals, drops, control slots) and must be byte-identical
+between same-seed runs in any engine execution mode; a few count
+*execution* work (cache-miss power evaluations, cohort bookkeeping)
+and legitimately differ between the scalar and batched engines.  The
+latter are listed in :data:`EXECUTION_COUNTER_NAMES` and excluded from
+:meth:`~repro.obs.manifest.RunManifest.deterministic_payload`.
 """
 
 from __future__ import annotations
@@ -33,9 +41,11 @@ from typing import FrozenSet
 __all__ = [
     "COUNTER_NAMES",
     "COUNTER_PREFIXES",
+    "EXECUTION_COUNTER_NAMES",
     "TIMER_NAMES",
     "is_declared_counter",
     "is_declared_timer",
+    "is_execution_counter",
 ]
 
 #: Every fixed-name counter the simulator increments or reads.
@@ -45,8 +55,13 @@ COUNTER_NAMES: FrozenSet[str] = frozenset(
         "engine.run_calls",
         "engine.events_dispatched",
         "engine.sim_time_advanced_s",
+        "engine.cohorts_dispatched",
+        "engine.cohort_requests",
+        "engine.fluid_segments",
+        "engine.fluid_time_advanced_s",
         # sim.cluster — server fleet lifecycle
         "cluster.power_model_evals",
+        "cluster.power_model_vector_evals",
         "cluster.dvfs_transitions",
         "cluster.server_failures",
         "cluster.server_recoveries",
@@ -86,6 +101,23 @@ COUNTER_PREFIXES: FrozenSet[str] = frozenset(
     }
 )
 
+#: Counters that measure how the simulator *computed* a run rather
+#: than what happened in it.  They vary with the engine execution mode
+#: (scalar vs. batched vs. fluid) while everything else stays
+#: byte-identical, so the deterministic manifest excludes them.  Still
+#: full members of :data:`COUNTER_NAMES` — they appear in telemetry
+#: and REP011 gates their spelling like any other name.
+EXECUTION_COUNTER_NAMES: FrozenSet[str] = frozenset(
+    {
+        "engine.cohorts_dispatched",
+        "engine.cohort_requests",
+        "engine.fluid_segments",
+        "engine.fluid_time_advanced_s",
+        "cluster.power_model_evals",
+        "cluster.power_model_vector_evals",
+    }
+)
+
 #: Every wall-timer phase name.
 TIMER_NAMES: FrozenSet[str] = frozenset(
     {
@@ -95,6 +127,7 @@ TIMER_NAMES: FrozenSet[str] = frozenset(
         "runner.pool_batch",
         "bench.attack_scenario",
         "bench.chaos_scenario",
+        "bench.volume_flood",
         "bench.region_sweep_cold",
         "bench.region_sweep_warm",
     }
@@ -111,3 +144,12 @@ def is_declared_counter(name: str) -> bool:
 def is_declared_timer(name: str) -> bool:
     """True when *name* is a declared wall-timer phase."""
     return name in TIMER_NAMES
+
+
+def is_execution_counter(name: str) -> bool:
+    """True when *name* counts execution work, not model events.
+
+    Execution counters are excluded from deterministic manifests — two
+    same-seed runs in different engine modes may disagree on them.
+    """
+    return name in EXECUTION_COUNTER_NAMES

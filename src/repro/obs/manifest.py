@@ -27,6 +27,7 @@ from typing import Dict, List, Mapping, Optional, Union
 
 from .._validation import check_int
 from .._version import __version__
+from .contract import is_execution_counter
 
 __all__ = [
     "RunManifest",
@@ -94,13 +95,24 @@ class RunManifest:
         check_int("seed", self.seed, minimum=0)
 
     def deterministic_payload(self) -> Dict[str, object]:
-        """The reproducible part: identity plus counters, no wall clock."""
+        """The reproducible part: identity plus counters, no wall clock.
+
+        Execution counters (``repro.obs.contract.
+        EXECUTION_COUNTER_NAMES``) are filtered out alongside the wall
+        timings: like wall clock, they describe how the run was
+        computed — the scalar and batched engines legitimately disagree
+        on them while agreeing byte-for-byte on everything kept here.
+        """
         return {
             "name": self.name,
             "seed": self.seed,
             "config_hash": self.config_hash,
             "version": self.version,
-            "counters": dict(self.counters),
+            "counters": {
+                name: value
+                for name, value in self.counters.items()
+                if not is_execution_counter(name)
+            },
         }
 
     def deterministic_hash(self) -> str:
@@ -108,8 +120,14 @@ class RunManifest:
         return deterministic_hash(self.deterministic_payload())
 
     def to_dict(self) -> Dict[str, object]:
-        """Full JSON-ready document (deterministic part + timings)."""
+        """Full JSON-ready document (deterministic part + timings).
+
+        Unlike :meth:`deterministic_payload`, the document keeps the
+        complete counter table — execution counters are telemetry worth
+        exporting even though the hash ignores them.
+        """
         out = self.deterministic_payload()
+        out["counters"] = dict(self.counters)
         out["timings_s"] = dict(self.timings_s)
         out["deterministic_hash"] = self.deterministic_hash()
         return out

@@ -185,12 +185,15 @@ class PowerManagementScheme:
         self.engine.obs.counters.inc("power.prediction_evals")
         pool = self.rack.servers if servers is None else list(servers)
         pool_ids = {s.server_id for s in pool}
-        ratio = self.rack.ladder.ratio(self.rack.ladder.clamp(level))
+        clamped = self.rack.ladder.clamp(level)
         total = 0.0
         for server in self.rack.servers:
             if server.server_id in pool_ids:
-                types = (e.request.rtype for e in server._active.values())
-                total += server.power_model.power(types, ratio)
+                # Count-based prediction against the cached physics
+                # rows; like the per-type iteration it replaces, this
+                # deliberately ignores health (a crashed pool server
+                # predicts as its idle floor).
+                total += server.power_at_level(clamped)
             else:
                 total += server.current_power()
         return total

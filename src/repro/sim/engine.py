@@ -12,18 +12,98 @@ everything else is built from:
 It also provides :meth:`EventEngine.every`, a convenience for the
 slotted control loops (power managers, firewall polls, attacker
 adjustment) that the paper's systems are built around.
+
+Execution modes
+---------------
+The engine runs in one of two *execution* modes, selected at
+construction and deliberately **not** part of any
+:class:`~repro.sim.config.SimulationConfig` (a mode is a strategy for
+evaluating the same model, not a different model — config hashes and
+deterministic manifests must not depend on it):
+
+* ``"scalar"`` — the reference path: every arrival is its own heap
+  event.
+* ``"batched"`` — cohort run-ahead: an open-loop traffic generator may
+  advance a run of consecutive arrivals *inline* (one heap event for
+  the whole cohort) via :meth:`try_advance_inline`, as long as no other
+  queued event falls between them and the run deadline admits it.  Each
+  inline arrival still advances the clock and counts as one dispatched
+  (logical) event, so ``engine.events_dispatched`` is identical across
+  modes — the byte-identical equivalence contract the golden tests
+  enforce.
+
+On top of the batched mode sits the **opt-in hybrid fluid mode**
+(``fluid=True``): when a segment of simulated time is *provably steady*
+— every arrival in it deterministically takes the same terminal path,
+e.g. an open-loop flood whose sources are all firewall-banned past the
+segment's end — the segment is integrated analytically instead of
+event by event (:meth:`try_advance_fluid`).  The absorbed arrivals are
+credited as dispatched logical events and accounted in bulk, but their
+per-request ids are never materialised and their interarrival gaps are
+replaced by one aggregate draw, so fluid runs are *statistically*
+faithful rather than byte-identical.  Fluid mode therefore sits outside
+the golden-equivalence contract and is never enabled by default.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+import heapq
+import os
+from typing import Callable, Optional, Tuple
 
 from .._validation import check_non_negative, check_positive
 from ..obs import Recorder
 from .clock import SimulationClock
-from .events import Event, EventQueue, PRIORITY_WORKLOAD
+from .events import NO_ARG, Event, EventQueue, PRIORITY_WORKLOAD
 
-__all__ = ["EventEngine"]
+__all__ = [
+    "EventEngine",
+    "ENGINE_MODES",
+    "ENGINE_SELECT_ENV",
+    "ENGINE_SELECTIONS",
+    "engine_from_env",
+    "resolve_engine_selection",
+]
+
+#: Valid execution modes.
+ENGINE_MODES = ("scalar", "batched")
+
+#: Environment variable selecting an engine for env-aware entry points
+#: (the bench driver, the figure benches, the region sweep).
+ENGINE_SELECT_ENV = "REPRO_BENCH_ENGINE"
+
+#: Valid engine selections: the two execution modes plus ``"fluid"``
+#: (the batched engine with hybrid fluid integration opted in).
+ENGINE_SELECTIONS = ("scalar", "batched", "fluid")
+
+
+def engine_from_env(default: str = "fluid") -> str:
+    """The engine selected by ``REPRO_BENCH_ENGINE``, or *default*.
+
+    Entry points differ in their default: the bench driver measures at
+    full speed (``"fluid"``), while exact consumers (the region sweep)
+    default to ``"batched"``, which is byte-identical to scalar.
+    """
+    value = os.environ.get(ENGINE_SELECT_ENV, "").strip().lower()
+    if not value:
+        return default
+    if value not in ENGINE_SELECTIONS:
+        raise ValueError(
+            f"{ENGINE_SELECT_ENV} must be one of {ENGINE_SELECTIONS}, "
+            f"got {value!r}"
+        )
+    return value
+
+
+def resolve_engine_selection(engine: str) -> Tuple[str, bool]:
+    """Map an engine selection name to ``(EventEngine mode, fluid flag)``."""
+    if engine == "fluid":
+        return "batched", True
+    if engine not in ENGINE_SELECTIONS:
+        raise ValueError(
+            f"engine must be one of {ENGINE_SELECTIONS}, got {engine!r}"
+        )
+    return engine, False
 
 
 class EventEngine:
@@ -33,16 +113,48 @@ class EventEngine:
     shared observation context all components wired to this engine
     record into.  Pass one in to share a recorder across several
     engines (bench phases); the default is a private fresh recorder.
+
+    Parameters
+    ----------
+    start_time_s:
+        Initial simulation time.
+    obs:
+        Shared observation context (default: a private recorder).
+    mode:
+        Execution strategy, ``"scalar"`` (default) or ``"batched"`` —
+        see the module docstring.  Same-seed runs produce byte-identical
+        deterministic outputs in either mode.
+    fluid:
+        Opt into hybrid fluid integration of provably-steady segments
+        (requires ``mode="batched"``).  Fluid runs are statistically
+        faithful but **not** byte-identical to scalar runs — see the
+        module docstring.
     """
 
     def __init__(
-        self, start_time_s: float = 0.0, obs: Optional[Recorder] = None
+        self,
+        start_time_s: float = 0.0,
+        obs: Optional[Recorder] = None,
+        mode: str = "scalar",
+        fluid: bool = False,
     ) -> None:
+        if mode not in ENGINE_MODES:
+            raise ValueError(
+                f"mode must be one of {ENGINE_MODES}, got {mode!r}"
+            )
+        if fluid and mode != "batched":
+            raise ValueError("fluid mode requires mode='batched'")
         self.clock = SimulationClock(start_time_s)
         self.obs = obs if obs is not None else Recorder()
+        self.mode = mode
+        #: Fast-path flag components branch on (``mode == "batched"``).
+        self.batched = mode == "batched"
+        #: Hybrid fluid integration enabled (batched engines only).
+        self.fluid = fluid
         self._queue = EventQueue()
         self._running = False
         self._stopped = False
+        self._until: Optional[float] = None
         self.dispatched = 0
         self._serial = 0
 
@@ -65,30 +177,39 @@ class EventEngine:
     @property
     def now(self) -> float:
         """Current simulation time in seconds."""
-        return self.clock.now
+        return self.clock._now
 
     def schedule(
         self,
         delay_s: float,
-        callback: Callable[[], None],
+        callback: Callable[..., None],
         priority: int = PRIORITY_WORKLOAD,
+        arg: object = NO_ARG,
     ) -> Event:
-        """Schedule *callback* to run *delay_s* seconds from now."""
-        check_non_negative("delay_s", delay_s)
-        return self._queue.push(self.clock.now + delay_s, callback, priority)
+        """Schedule *callback* to run *delay_s* seconds from now.
+
+        When *arg* is given the callback is invoked as ``callback(arg)``
+        — hot callers use this to avoid allocating a capturing lambda
+        per event.
+        """
+        if delay_s < 0.0:
+            check_non_negative("delay_s", delay_s)  # raises with full context
+        return self._queue.push(self.clock._now + delay_s, callback, priority, arg)
 
     def schedule_at(
         self,
         time_s: float,
-        callback: Callable[[], None],
+        callback: Callable[..., None],
         priority: int = PRIORITY_WORKLOAD,
+        arg: object = NO_ARG,
     ) -> Event:
         """Schedule *callback* at the absolute simulation *time_s*."""
-        if time_s < self.clock.now:
+        if time_s < self.clock._now:
             raise ValueError(
-                f"cannot schedule in the past: now={self.clock.now}, requested={time_s}"
+                f"cannot schedule in the past: now={self.clock._now}, "
+                f"requested={time_s}"
             )
-        return self._queue.push(time_s, callback, priority)
+        return self._queue.push(time_s, callback, priority, arg)
 
     def every(
         self,
@@ -148,35 +269,123 @@ class EventEngine:
             raise RuntimeError("engine is already running (re-entrant run())")
         self._running = True
         self._stopped = False
+        self._until = until
         dispatched_before = self.dispatched
-        sim_before_s = self.clock.now
+        sim_before_s = self.clock._now
+        queue = self._queue
+        heap = queue._heap
+        heappop = heapq.heappop
+        clock = self.clock
         try:
             with self.obs.timers.phase("engine.run"):
-                while self._queue and not self._stopped:
-                    next_time_s = self._queue.peek_time()
-                    if until is not None and next_time_s is not None and next_time_s > until:
-                        self.clock.advance_to(until)
+                # The loop touches queue/clock internals directly: a
+                # peek is one tuple index and an advance one attribute
+                # store.  Entries popped here are monotonically ordered
+                # by construction, so the clock's backwards check is
+                # redundant on this path (and stays armed everywhere
+                # else).
+                while heap and not self._stopped:
+                    entry = heap[0]
+                    event = entry[3]
+                    if event.cancelled:
+                        heappop(heap)
+                        continue
+                    time_s = entry[0]
+                    if until is not None and time_s > until:
+                        clock.advance_to(until)
                         break
-                    event = self._queue.pop()
-                    if event is None:
-                        break
-                    self.clock.advance_to(event.time_s)
-                    event.callback()
+                    heappop(heap)
+                    queue._live -= 1
+                    clock._now = time_s
+                    if event.arg is NO_ARG:
+                        event.callback()
+                    else:
+                        event.callback(event.arg)
                     self.dispatched += 1
                 else:
-                    if until is not None and self.clock.now < until and not self._stopped:
-                        self.clock.advance_to(until)
+                    if until is not None and clock._now < until and not self._stopped:
+                        clock.advance_to(until)
         finally:
             self._running = False
+            self._until = None
             counters = self.obs.counters
             counters.inc("engine.run_calls")
             counters.inc(
                 "engine.events_dispatched", self.dispatched - dispatched_before
             )
             counters.inc(
-                "engine.sim_time_advanced_s", self.clock.now - sim_before_s
+                "engine.sim_time_advanced_s", self.clock._now - sim_before_s
             )
-        return self.clock.now
+        return self.clock._now
+
+    def try_advance_inline(self, time_s: float) -> bool:
+        """Batched-mode run-ahead: advance the clock to *time_s* inline.
+
+        Succeeds — advancing the clock and counting one dispatched
+        logical event — only when it is *provably* equivalent to
+        scheduling and immediately popping a heap event at *time_s*:
+
+        * a :meth:`run` is active and has not been stopped;
+        * *time_s* does not overrun the run deadline;
+        * *time_s* is **strictly** earlier than every queued event (a
+          queued event with an equal timestamp holds a smaller sequence
+          number and must dispatch first in scalar mode);
+        * *time_s* does not move the clock backwards (also rejects NaN).
+
+        Returns ``False`` without side effects otherwise; the caller
+        falls back to scheduling a regular event.
+        """
+        if not self._running or self._stopped:
+            return False
+        until = self._until
+        if until is not None and time_s > until:
+            return False
+        next_time_s = self._queue.peek_time()
+        if next_time_s is not None and time_s >= next_time_s:
+            return False
+        clock = self.clock
+        if not (time_s >= clock._now):  # NaN fails every comparison
+            return False
+        clock._now = time_s
+        self.dispatched += 1
+        return True
+
+    def try_advance_fluid(self, time_s: float, n_events: int) -> bool:
+        """Fluid-mode segment jump: advance to *time_s* in one step.
+
+        Credits *n_events* analytically integrated arrivals as
+        dispatched logical events without materialising them.  The jump
+        is admitted only when it provably cannot reorder anything:
+
+        * fluid mode is on, a :meth:`run` is active and not stopped;
+        * *time_s* does not overrun the run deadline;
+        * *time_s* does not pass any queued event (landing exactly *on*
+          the next event's timestamp is fine — the absorbed arrivals
+          all lie strictly inside the segment);
+        * *time_s* does not move the clock backwards (rejects NaN).
+
+        The caller is responsible for the segment's *model* accounting
+        (drop counters, firewall stats, aggregate completion records);
+        this method only handles clock and engine bookkeeping.
+        """
+        if not self.fluid or not self._running or self._stopped:
+            return False
+        until = self._until
+        if until is not None and time_s > until:
+            return False
+        next_time_s = self._queue.peek_time()
+        if next_time_s is not None and time_s > next_time_s:
+            return False
+        clock = self.clock
+        if not (time_s >= clock._now):  # NaN fails every comparison
+            return False
+        dt_s = time_s - clock._now
+        clock._now = time_s
+        self.dispatched += n_events
+        counters = self.obs.counters
+        counters.inc("engine.fluid_segments")
+        counters.inc("engine.fluid_time_advanced_s", dt_s)
+        return True
 
     def stop(self) -> None:
         """Stop the current :meth:`run` after the in-flight event returns."""

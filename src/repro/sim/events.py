@@ -7,19 +7,25 @@ priorities the event scheduled first runs first.  Cancellation is done
 lazily (the heap entry stays in the queue but is skipped on pop), which
 is the standard O(1)-cancel / amortised-O(log n)-pop idiom for heap
 based schedulers.
+
+The heap stores ``(time_s, priority, seq, event)`` tuples rather than
+the events themselves: the unique ``seq`` guarantees the :class:`Event`
+object is never compared, so every sift comparison is a C-level tuple
+comparison instead of a Python ``__lt__`` call — the difference between
+~0.4 µs and ~0.07 µs per comparison on the hot path.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from .._validation import check_finite
 
 __all__ = [
     "Event",
     "EventQueue",
+    "NO_ARG",
 ]
 
 # Well-known priority bands.  Control actions run after the workload
@@ -29,6 +35,13 @@ PRIORITY_WORKLOAD = 0
 PRIORITY_MONITOR = 10
 PRIORITY_CONTROL = 20
 
+#: Sentinel meaning "callback takes no argument".  Scheduling with a
+#: real ``arg`` lets hot callers (server completions) avoid allocating a
+#: capturing lambda per event.
+NO_ARG = object()
+
+_INF = float("inf")
+
 
 class Event:
     """A scheduled callback inside the simulation.
@@ -37,19 +50,21 @@ class Event:
     user code normally only keeps them around to :meth:`cancel` them.
     """
 
-    __slots__ = ("time_s", "priority", "seq", "callback", "cancelled")
+    __slots__ = ("time_s", "priority", "seq", "callback", "arg", "cancelled")
 
     def __init__(
         self,
         time_s: float,
         priority: int,
         seq: int,
-        callback: Callable[[], None],
+        callback: Callable[..., None],
+        arg: object = NO_ARG,
     ) -> None:
         self.time_s = time_s
         self.priority = priority
         self.seq = seq
         self.callback = callback
+        self.arg = arg
         self.cancelled = False
 
     def cancel(self) -> None:
@@ -68,24 +83,34 @@ class Event:
         return f"Event(t={self.time_s:.6f}, prio={self.priority}, {state})"
 
 
+_HeapEntry = Tuple[float, int, int, Event]
+
+
 class EventQueue:
     """A cancellable priority queue of :class:`Event` objects."""
 
+    __slots__ = ("_heap", "_count", "_live")
+
     def __init__(self) -> None:
-        self._heap: List[Event] = []
-        self._counter = itertools.count()
+        self._heap: List[_HeapEntry] = []
+        self._count = 0
         self._live = 0
 
     def push(
         self,
         time_s: float,
-        callback: Callable[[], None],
+        callback: Callable[..., None],
         priority: int = PRIORITY_WORKLOAD,
+        arg: object = NO_ARG,
     ) -> Event:
         """Schedule *callback* at absolute *time_s* and return its handle."""
-        check_finite("time_s", time_s)
-        event = Event(float(time_s), int(priority), next(self._counter), callback)
-        heapq.heappush(self._heap, event)
+        if not (-_INF < time_s < _INF):  # inline fast path; NaN also fails
+            check_finite("time_s", time_s)
+        time_s = float(time_s)
+        seq = self._count
+        self._count = seq + 1
+        event = Event(time_s, priority, seq, callback, arg)
+        heapq.heappush(self._heap, (time_s, priority, seq, event))
         self._live += 1
         return event
 
@@ -94,8 +119,9 @@ class EventQueue:
 
         Cancelled events are discarded transparently.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
             if event.cancelled:
                 continue
             self._live -= 1
@@ -104,9 +130,10 @@ class EventQueue:
 
     def peek_time(self) -> Optional[float]:
         """Return the timestamp of the next live event without popping it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time_s if self._heap else None
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     def cancel(self, event: Event) -> None:
         """Cancel *event* if it has not fired yet."""

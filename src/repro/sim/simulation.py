@@ -44,6 +44,7 @@ from ..power.manager import NullScheme, PowerManagementScheme
 from ..power.meter import PowerMeter
 from ..sim.engine import EventEngine
 from ..sim.events import PRIORITY_CONTROL
+from ..sim.fluid import BannedPoolDrain
 from ..trace.alibaba import ClusterTrace
 from ..workloads.catalog import RequestMix, TrafficClass
 from ..workloads.dope import DopeAttacker
@@ -65,6 +66,19 @@ class DataCenterSimulation:
     scheme:
         The Table 2 power-management scheme under test; ``None`` runs
         unmanaged (the vulnerability-characterisation arm).
+    engine:
+        Pre-built engine to share across facades; overrides
+        *engine_mode*.
+    engine_mode:
+        Execution strategy for a privately-built engine (``"scalar"``
+        or ``"batched"``).  Deliberately not part of
+        :class:`SimulationConfig`: a mode is a way of *evaluating* the
+        model, not a different model, so it must not move config hashes
+        or deterministic manifests.
+    fluid:
+        Opt a privately-built batched engine into hybrid fluid
+        integration (see :mod:`repro.sim.fluid`).  Statistically
+        faithful, not byte-identical — off by default.
     """
 
     def __init__(
@@ -72,11 +86,17 @@ class DataCenterSimulation:
         config: SimulationConfig = SimulationConfig(),
         scheme: Optional[PowerManagementScheme] = None,
         engine: Optional[EventEngine] = None,
+        engine_mode: str = "scalar",
+        fluid: bool = False,
     ) -> None:
         self.config = config
         # A shared engine lets several data-center instances co-exist in
         # one simulated world (multi-rack facility scenarios).
-        self.engine = engine if engine is not None else EventEngine()
+        self.engine = (
+            engine
+            if engine is not None
+            else EventEngine(mode=engine_mode, fluid=fluid)
+        )
         self._seedseq = np.random.SeedSequence(config.seed)
         self.collector = MetricsCollector()
         self.registry = SourceRegistry()
@@ -179,6 +199,7 @@ class DataCenterSimulation:
             label=label,
         )
         gen.start(start_delay_s)
+        self._attach_fluid_drain(gen)
         self.generators.append(gen)
         return gen
 
@@ -212,8 +233,22 @@ class DataCenterSimulation:
             gen.run_window(start_s, end_s)
         else:
             gen.start(start_s)
+        self._attach_fluid_drain(gen)
         self.generators.append(gen)
         return gen
+
+    def _attach_fluid_drain(self, gen) -> None:
+        """Wire a fluid absorber onto *gen* when the engine opts in.
+
+        Only open-loop :class:`TrafficGenerator` populations can be
+        absorbed (closed-loop clients are self-limiting and never
+        steady); the drain engages at run time only while the firewall
+        provably rejects the generator's whole source pool.
+        """
+        if self.engine.fluid and isinstance(gen, TrafficGenerator):
+            gen.fluid_drain = BannedPoolDrain(
+                self.firewall, gen.source_pool, self.nlb, self.collector
+            )
 
     def add_dope_attacker(
         self,

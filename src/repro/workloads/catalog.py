@@ -37,8 +37,10 @@ Each type is modelled by four orthogonal knobs:
 from __future__ import annotations
 
 import enum
+import math
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Tuple
+from typing import ClassVar, Dict, Iterable, List, Mapping, Tuple
 
 import numpy as np
 
@@ -90,6 +92,12 @@ class RequestType:
     service_cv: float = 0.1
     description: str = ""
 
+    # Derived lognormal noise parameters (set in __post_init__; declared
+    # as ClassVar so the dataclass machinery does not treat them as
+    # fields — they never appear in eq/repr/asdict).
+    _ln_sigma: ClassVar[float]
+    _ln_mu: ClassVar[float]
+
     def __post_init__(self) -> None:
         require(bool(self.name), "name must be non-empty")
         require(self.url.startswith("/"), f"url must start with '/': {self.url!r}")
@@ -98,6 +106,17 @@ class RequestType:
         check_fraction("power_intensity", self.power_intensity)
         check_fraction("freq_sensitivity", self.freq_sensitivity)
         check_fraction("service_cv", self.service_cv)
+        # Lognormal service-noise parameters, precomputed once per type
+        # (the dataclass is frozen, so the cached values can never go
+        # stale).  ``object.__setattr__`` is the standard frozen-class
+        # idiom for derived attributes.
+        if self.service_cv > 0:
+            sigma2 = math.log(1.0 + self.service_cv * self.service_cv)
+            object.__setattr__(self, "_ln_sigma", math.sqrt(sigma2))
+            object.__setattr__(self, "_ln_mu", -0.5 * sigma2)
+        else:
+            object.__setattr__(self, "_ln_sigma", 0.0)
+            object.__setattr__(self, "_ln_mu", 0.0)
 
     def speedup(self, freq_ratio: float) -> float:
         """Execution-speed multiplier at ``f/f_max == freq_ratio``.
@@ -228,7 +247,7 @@ class RequestMix:
     use on the hot path.
     """
 
-    __slots__ = ("types", "weights", "_cum")
+    __slots__ = ("types", "weights", "_cum", "_cum_list", "_last_index")
 
     def __init__(self, weighted_types: Mapping[RequestType, float]):
         require(len(weighted_types) > 0, "RequestMix needs at least one type")
@@ -237,6 +256,11 @@ class RequestMix:
         self.types: Tuple[RequestType, ...] = tuple(t for t, _ in items)
         self.weights: Tuple[float, ...] = tuple(weights)
         self._cum = np.cumsum(np.asarray(weights))
+        # Plain-list mirror for the scalar hot path: bisect on a list
+        # costs ~0.07 µs where np.searchsorted on the same data costs
+        # ~1.6 µs (per-call NumPy dispatch overhead dominates at n≈5).
+        self._cum_list: List[float] = self._cum.tolist()
+        self._last_index = len(self.types) - 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = ", ".join(
@@ -245,9 +269,16 @@ class RequestMix:
         return f"RequestMix({parts})"
 
     def sample(self, rng: np.random.Generator) -> RequestType:
-        """Draw a single request type."""
-        idx = int(np.searchsorted(self._cum, rng.random(), side="right"))
-        return self.types[min(idx, len(self.types) - 1)]
+        """Draw a single request type.
+
+        ``bisect_right`` on the cumulative weights is semantically
+        identical to ``np.searchsorted(..., side="right")`` — the same
+        uniform draw maps to the same index.
+        """
+        idx = bisect_right(self._cum_list, rng.random())
+        if idx > self._last_index:
+            idx = self._last_index
+        return self.types[idx]
 
     def sample_many(self, rng: np.random.Generator, n: int) -> List[RequestType]:
         """Draw *n* request types in one vectorised call."""

@@ -23,7 +23,7 @@ from .._validation import check_non_negative, check_positive, require
 from ..network.request import Request
 from ..network.sources import SourcePool
 from ..sim.engine import EventEngine
-from ..trace.arrival import ArrivalProcess, ConstantRateProcess
+from ..trace.arrival import ArrivalProcess, ConstantRateProcess, PoissonProcess
 from .catalog import RequestMix, RequestType
 
 __all__ = [
@@ -33,6 +33,11 @@ __all__ = [
 ]
 
 Dispatch = Callable[[Request], bool]
+
+#: Minimum expected arrivals in a candidate fluid segment.  Below this
+#: the per-request batched path is at least as cheap as the segment
+#: bookkeeping, so the generator does not bother with the jump.
+_FLUID_MIN_EXPECTED_EVENTS = 4.0
 
 
 class TrafficGenerator:
@@ -82,6 +87,10 @@ class TrafficGenerator:
         self._next_agent = 0
         self._pending = None
         self._running = False
+        #: Optional fluid absorber (:class:`repro.sim.fluid.
+        #: BannedPoolDrain`); wired by the simulation facade on fluid
+        #: engines, consulted only there.
+        self.fluid_drain = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -131,6 +140,9 @@ class TrafficGenerator:
     def _schedule_next(self) -> None:
         if not self._running:
             return
+        if self.engine.batched:
+            self._advance_batched()
+            return
         gap = self.process.next_interarrival(self.rng, self.engine.now)
         if math.isinf(gap):
             self._running = False
@@ -141,6 +153,11 @@ class TrafficGenerator:
     def _emit(self) -> None:
         if not self._running:
             return
+        self._emit_one()
+        self._schedule_next()
+
+    def _emit_one(self) -> RequestType:
+        """Generate and dispatch one request at the current instant."""
         rtype = self.mix.sample(self.rng)
         source_id = self.source_pool.first_id + self._next_agent
         self._next_agent = (self._next_agent + 1) % self.source_pool.size
@@ -154,7 +171,107 @@ class TrafficGenerator:
         self.generated += 1
         if self.dispatch(request):
             self.accepted += 1
-        self._schedule_next()
+        return rtype
+
+    def _advance_batched(self) -> None:
+        """Cohort run-ahead: emit consecutive arrivals inline.
+
+        Replays the exact scalar sequence — draw gap, arrive, sample
+        type, dispatch, draw next gap — but advances the clock through
+        :meth:`~repro.sim.engine.EventEngine.try_advance_inline`
+        instead of paying a heap round-trip per arrival.  The inline
+        advance succeeds only while this generator's next arrival
+        provably precedes every queued event, so nothing (completions,
+        control slots, ``stop()`` windows) can interleave mid-run and
+        the RNG draw order is untouched.  The moment that proof fails,
+        the arrival is scheduled as a regular event from the same
+        ``gap`` — the identical float the scalar path would push — and
+        the loop exits.
+
+        Consecutive same-type arrivals within one run form a *cohort*
+        (requests still materialise ids individually at dispatch, where
+        firewall/PDF/service outcomes diverge); the cohort tallies feed
+        the execution counters, which the deterministic manifest
+        excludes.
+        """
+        engine = self.engine
+        clock = engine.clock
+        rng = self.rng
+        fluid = engine.fluid and self.fluid_drain is not None
+        cohort_type: Optional[RequestType] = None
+        cohort_len = 0
+        cohorts = 0
+        cohort_requests = 0
+        while self._running:
+            if fluid and self._try_fluid_segment():
+                continue
+            gap = self.process.next_interarrival(rng, clock._now)
+            if math.isinf(gap):
+                self._running = False
+                self._pending = None
+                break
+            if not engine.try_advance_inline(clock._now + gap):
+                self._pending = engine.schedule(gap, self._emit)
+                break
+            rtype = self._emit_one()
+            if rtype is cohort_type:
+                cohort_len += 1
+            else:
+                if cohort_len:
+                    cohorts += 1
+                    cohort_requests += cohort_len
+                cohort_type = rtype
+                cohort_len = 1
+        if cohort_len:
+            cohorts += 1
+            cohort_requests += cohort_len
+        if cohorts:
+            counters = engine.obs.counters
+            counters.inc("engine.cohorts_dispatched", cohorts)
+            counters.inc("engine.cohort_requests", cohort_requests)
+
+    def _try_fluid_segment(self) -> bool:
+        """Analytically integrate one provably-steady segment.
+
+        Applies only on fluid engines with a wired drain, and only
+        while the arrival process is a homogeneous (memoryless)
+        Poisson stream — restarting such a process at the segment end
+        is exact.  The segment runs from now to the earliest of the
+        drain's steadiness horizon, the next queued event and the run
+        deadline; the arrival count is one Poisson draw, the bulk
+        bookkeeping is the drain's, and the absorbed requests never
+        materialise ids.  Returns ``False`` (no side effects) when the
+        proof fails or the segment is too short to pay for itself.
+        """
+        process = self.process
+        if type(process) is not PoissonProcess:
+            return False
+        rate = process.rate
+        if rate <= 0.0:
+            return False
+        engine = self.engine
+        now = engine.clock._now
+        drain = self.fluid_drain
+        horizon = drain.horizon(now)
+        if horizon is None:
+            return False
+        t_end = horizon
+        until = engine._until
+        if until is not None and until < t_end:
+            t_end = until
+        next_time_s = engine._queue.peek_time()
+        if next_time_s is not None and next_time_s < t_end:
+            t_end = next_time_s
+        dt = t_end - now
+        if not (dt * rate >= _FLUID_MIN_EXPECTED_EVENTS):  # NaN-safe
+            return False
+        count = int(self.rng.poisson(rate * dt))
+        if not engine.try_advance_fluid(t_end, count):
+            return False
+        if count:
+            self.generated += count
+            drain.absorb(self, count, t_end)
+        return True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -238,8 +355,7 @@ class ClosedLoopGenerator:
             raise RuntimeError(f"generator {self.label!r} already running")
         self._running = True
         self._epoch += 1
-        epoch = self._epoch
-        self.engine.schedule(delay_s, lambda: self._launch_clients(epoch))
+        self.engine.schedule(delay_s, self._launch_clients, arg=self._epoch)
 
     def _launch_clients(self, epoch: int) -> None:
         if not self._running or epoch != self._epoch:
@@ -250,7 +366,7 @@ class ClosedLoopGenerator:
         spread = max(self.think_s, 0.05)
         for _ in range(self.num_clients):
             offset = float(self.rng.uniform(0.0, spread))
-            self.engine.schedule(offset, lambda: self._client_send(epoch))
+            self.engine.schedule(offset, self._client_send, arg=epoch)
             self._active_clients += 1
 
     def stop(self) -> None:
@@ -278,7 +394,7 @@ class ClosedLoopGenerator:
             spread = max(self.think_s, 0.05)
             for _ in range(delta):
                 offset = float(self.rng.uniform(0.0, spread))
-                self.engine.schedule(offset, lambda: self._client_send(epoch))
+                self.engine.schedule(offset, self._client_send, arg=epoch)
                 self._active_clients += 1
         # Negative delta handled lazily in _client_terminal.
 
@@ -319,7 +435,7 @@ class ClosedLoopGenerator:
         think = (
             float(self.rng.exponential(self.think_s)) if self.think_s > 0 else 0.0
         )
-        self.engine.schedule(think, lambda: self._client_send(epoch))
+        self.engine.schedule(think, self._client_send, arg=epoch)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

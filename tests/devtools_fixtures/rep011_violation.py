@@ -11,3 +11,11 @@ def record(counters, timers, kind):
     counters.inc(f"faults.injectd.{kind}")  # VIOLATION: typo'd prefix
     with timers.phase("runner.cel"):  # VIOLATION: typo of runner.cell
         pass
+
+
+def record_aggregate_flow(counters, timers):
+    counters.inc("engine.cohort_dispatched")  # VIOLATION: typo of cohorts_dispatched
+    counters.inc("engine.fluid_segment")  # VIOLATION: typo of fluid_segments
+    counters.inc("cluster.power_model_vector_eval")  # VIOLATION: typo of vector_evals
+    with timers.phase("bench.volume_floods"):  # VIOLATION: typo of bench.volume_flood
+        pass

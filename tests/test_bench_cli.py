@@ -135,9 +135,14 @@ def test_bench_cli_smoke_emits_schema_valid_json(tmp_path, capsys):
     assert phase_names == {
         "bench.attack_scenario",
         "bench.chaos_scenario",
+        "bench.volume_flood",
         "bench.region_sweep_cold",
         "bench.region_sweep_warm",
     }
+    # Default engine is the full-speed fluid path, recorded in the payload.
+    assert payload["engine"] == "fluid"
+    assert counters["engine.fluid_segments"] > 0
+    assert counters["engine.cohorts_dispatched"] > 0
 
 
 def test_run_bench_counters_deterministic_across_calls():
@@ -147,3 +152,51 @@ def test_run_bench_counters_deterministic_across_calls():
     assert a["config_hash"] == b["config_hash"]
     # Wall-clock blocks exist but are not required to agree.
     assert set(a["timings_s"]) == set(b["timings_s"])
+
+
+# ----------------------------------------------------------------------
+# Engine selection (REPRO_BENCH_ENGINE)
+# ----------------------------------------------------------------------
+
+
+def test_bench_engine_env_var_selects_engine(monkeypatch):
+    from repro.bench import BENCH_ENGINE_ENV, bench_engine, resolve_engine
+
+    monkeypatch.delenv(BENCH_ENGINE_ENV, raising=False)
+    assert bench_engine() == "fluid"
+    for name in ("scalar", "batched", "fluid"):
+        monkeypatch.setenv(BENCH_ENGINE_ENV, name)
+        assert bench_engine() == name
+    monkeypatch.setenv(BENCH_ENGINE_ENV, "Batched ")
+    assert bench_engine() == "batched"
+    monkeypatch.setenv(BENCH_ENGINE_ENV, "turbo")
+    with pytest.raises(ValueError, match="REPRO_BENCH_ENGINE"):
+        bench_engine()
+
+    assert resolve_engine("scalar") == ("scalar", False)
+    assert resolve_engine("batched") == ("batched", False)
+    assert resolve_engine("fluid") == ("batched", True)
+    with pytest.raises(ValueError, match="engine"):
+        resolve_engine("turbo")
+
+
+def test_support_runner_follows_bench_engine(monkeypatch):
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
+    try:
+        import _support
+    finally:
+        sys.path.pop(0)
+    from repro.bench import BENCH_ENGINE_ENV
+
+    monkeypatch.setenv(BENCH_ENGINE_ENV, "scalar")
+    sim = _support.run_attack_scenario(duration=5.0, attack=False)
+    assert sim.engine.mode == "scalar" and not sim.engine.fluid
+    monkeypatch.setenv(BENCH_ENGINE_ENV, "fluid")
+    sim = _support.run_attack_scenario(duration=5.0, attack=False)
+    assert sim.engine.mode == "batched" and sim.engine.fluid
+    # An explicit argument wins over the environment.
+    sim = _support.run_attack_scenario(duration=5.0, attack=False, engine="batched")
+    assert sim.engine.mode == "batched" and not sim.engine.fluid

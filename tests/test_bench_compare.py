@@ -94,13 +94,65 @@ def test_load_payload_reports_bad_inputs(bench_compare, tmp_path):
     assert errors
 
 
+def test_engine_mismatch_fails_only_when_both_declare(bench_compare):
+    base, fresh = _payload(1000.0), _payload(900.0)
+    base["engine"], fresh["engine"] = "fluid", "scalar"
+    failures = bench_compare.compare_payloads(base, fresh)
+    assert any("engine mismatch" in f for f in failures)
+    # Pre-refactor payloads carry no engine key: no failure.
+    del base["engine"]
+    assert bench_compare.compare_payloads(base, fresh) == []
+
+
+def test_absolute_floor_enforces_min_speedup(bench_compare):
+    floor = bench_compare.DEFAULT_FLOOR
+    assert floor == pytest.approx(
+        bench_compare.LEGACY_HEADLINE_EVENTS_PER_WALL_S
+        * bench_compare.MIN_SPEEDUP
+    )
+    base = _payload(floor * 2.5)
+    # Within threshold of baseline but below the absolute floor: fail.
+    failures = bench_compare.compare_payloads(
+        base, _payload(floor * 0.9), threshold=0.99, floor=floor
+    )
+    assert any("speedup floor" in f for f in failures)
+    # At/above the floor: pass.
+    assert (
+        bench_compare.compare_payloads(
+            base, _payload(floor * 2.2), floor=floor
+        )
+        == []
+    )
+    # floor=0 disables the check entirely.
+    assert (
+        bench_compare.compare_payloads(
+            base, _payload(floor * 2.2), floor=0.0
+        )
+        == []
+    )
+
+
 def test_main_exit_codes(bench_compare, tmp_path):
     base = tmp_path / "base.json"
     fresh = tmp_path / "fresh.json"
     base.write_text(json.dumps(_payload(1000.0)))
     fresh.write_text(json.dumps(_payload(750.0)))
-    assert bench_compare.main([str(base), str(fresh)]) == 1
-    assert bench_compare.main([str(base), str(fresh), "--threshold", "0.30"]) == 0
+    assert bench_compare.main([str(base), str(fresh), "--floor", "0"]) == 1
+    assert (
+        bench_compare.main(
+            [str(base), str(fresh), "--threshold", "0.30", "--floor", "0"]
+        )
+        == 0
+    )
+    # The default floor (10x the per-request headline) rejects a fresh
+    # payload that only matches the pre-refactor engine's throughput.
+    big = tmp_path / "big.json"
+    big.write_text(json.dumps(_payload(bench_compare.DEFAULT_FLOOR * 2)))
+    slow = tmp_path / "slow.json"
+    slow.write_text(
+        json.dumps(_payload(bench_compare.LEGACY_HEADLINE_EVENTS_PER_WALL_S))
+    )
+    assert bench_compare.main([str(big), str(slow), "--threshold", "0.99"]) == 1
 
 
 def test_committed_baseline_is_schema_valid(bench_compare):

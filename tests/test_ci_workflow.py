@@ -2,9 +2,10 @@
 
 The pinned dev container has no ``actionlint``, so this suite is the
 schema check keeping the workflow honest: it must parse as YAML, define
-the three jobs the repo's CI contract names (lint, test matrix,
-bench-smoke), run the *same* gate script a developer runs locally, and
-cover the supported Python matrix with pip caching.
+the four jobs the repo's CI contract names (lint, test matrix,
+bench-smoke, golden equivalence), run the *same* gate script a
+developer runs locally, and cover the supported Python matrix with pip
+caching.
 """
 
 from pathlib import Path
@@ -36,8 +37,13 @@ def test_workflow_parses_and_triggers_on_push_and_pr(workflow):
     assert triggers["push"]["branches"] == ["main"]
 
 
-def test_workflow_defines_the_three_contract_jobs(workflow):
-    assert set(workflow["jobs"]) == {"lint", "test", "bench-smoke"}
+def test_workflow_defines_the_four_contract_jobs(workflow):
+    assert set(workflow["jobs"]) == {
+        "lint",
+        "test",
+        "bench-smoke",
+        "equivalence",
+    }
 
 
 def test_every_job_checks_out_and_sets_up_python_with_pip_cache(workflow):
@@ -98,6 +104,17 @@ def test_test_job_uploads_junit_reports(workflow):
         if step.get("uses", "").startswith("actions/upload-artifact@")
     ]
     assert uploads and uploads[0]["with"]["path"] == "test-reports/"
+
+
+def test_equivalence_job_runs_suite_and_two_worker_cross_check(workflow):
+    runs = _run_lines(workflow["jobs"]["equivalence"])
+    assert "tests/test_batched_equivalence.py" in runs
+    assert "tests/test_property_equivalence.py" in runs
+    # Cross-engine identity must exercise the process pool too.
+    assert "REPRO_BENCH_ENGINE=scalar" in runs
+    assert "REPRO_BENCH_ENGINE=batched" in runs
+    assert runs.count("--workers 2") == 2
+    assert "diff sweep_scalar.txt sweep_batched.txt" in runs
 
 
 def test_bench_smoke_job_runs_bench_and_regression_gate(workflow):

@@ -297,7 +297,7 @@ def test_cli_write_baseline_then_suppress(tmp_path, capsys):
         [target, "--rules", "REP011", "--write-baseline", str(baseline_file)]
     )
     assert rc == 0
-    assert "wrote 4 finding(s)" in capsys.readouterr().out
+    assert "wrote 8 finding(s)" in capsys.readouterr().out
 
     # the same findings are now suppressed...
     rc = lint_main(

@@ -46,9 +46,29 @@ class TestRecordsCSV:
             "finish_s",
             "response_ms",
             "server",
+            "weight",
         }
         assert rows[0]["class"] == "normal"
         assert float(rows[0]["response_ms"]) > 0
+        assert rows[0]["weight"] == "1"
+
+    def test_aggregate_record_weight_column(self):
+        from repro.network.request import CompletionRecord, RequestOutcome
+        from repro.workloads import TrafficClass
+
+        record = CompletionRecord.aggregate(
+            37,
+            "volume_dos",
+            TrafficClass.ATTACK,
+            RequestOutcome.DROPPED_FIREWALL,
+            9.0,
+        )
+        buf = io.StringIO()
+        records_to_csv([record], buf)
+        buf.seek(0)
+        row = next(csv.DictReader(buf))
+        assert row["weight"] == "37"
+        assert row["request_id"] == "-1"
 
 
 class TestMeterCSV:
