@@ -21,6 +21,16 @@ The comparison has two parts:
   order of magnitude faster than the old per-request hot loop, even if
   someone "fixes" that by committing a slower baseline.  Pass
   ``--floor 0`` to disable (e.g. when comparing scalar-engine runs).
+* **Per-phase regression** — every baseline phase that reports
+  ``events_per_wall_s`` must still exist in the fresh payload and must
+  not fall more than ``--phase-threshold`` (default 50%) below its own
+  baseline.  The aggregate headline mixes phases with very different
+  event volumes, so adding a heavy phase (the tree-topology scenario)
+  could otherwise mask a multiple-times slowdown of a lighter one —
+  the per-phase check pins each scenario to its own history.  A phase
+  present in the baseline but missing from the fresh payload is a
+  failure (deleting a phase is how a regression hides); zero-event
+  phases are skipped.
 
 Wall-clock throughput varies across machines, so the committed baseline
 is only a coarse floor — the threshold catches "the event loop got
@@ -45,8 +55,10 @@ __all__ = [
     "LEGACY_HEADLINE_EVENTS_PER_WALL_S",
     "MIN_SPEEDUP",
     "DEFAULT_FLOOR",
+    "DEFAULT_PHASE_THRESHOLD",
     "load_payload",
     "compare_payloads",
+    "compare_phases",
     "main",
 ]
 
@@ -62,6 +74,13 @@ MIN_SPEEDUP = 10.0
 #: Default ``--floor``: the batched/fluid bench must keep at least a
 #: 10× headline over the old per-request hot loop.
 DEFAULT_FLOOR = LEGACY_HEADLINE_EVENTS_PER_WALL_S * MIN_SPEEDUP
+
+#: Default ``--phase-threshold``: the allowed fractional drop of any
+#: single phase's events-per-wall-second.  Looser than the headline
+#: threshold because individual phases are shorter and noisier, but
+#: tight enough to catch "one scenario got multiples slower while the
+#: aggregate stayed flat".
+DEFAULT_PHASE_THRESHOLD = 0.50
 
 
 def load_payload(path: Path) -> Tuple[Optional[Dict[str, object]], List[str]]:
@@ -147,6 +166,59 @@ def compare_payloads(
     return failures
 
 
+def _phase_rates(payload: Dict[str, object]) -> Dict[str, float]:
+    """Phase name → events_per_wall_s, for phases that report one."""
+    rates: Dict[str, float] = {}
+    for phase in payload.get("phases", []):  # type: ignore[union-attr]
+        if isinstance(phase, dict) and "events_per_wall_s" in phase:
+            rates[str(phase["name"])] = float(phase["events_per_wall_s"])  # type: ignore[arg-type]
+    return rates
+
+
+def compare_phases(
+    baseline: Dict[str, object],
+    fresh: Dict[str, object],
+    phase_threshold: float = DEFAULT_PHASE_THRESHOLD,
+) -> List[str]:
+    """Per-phase regression check; returns failure messages (empty = pass).
+
+    Each baseline phase with a positive ``events_per_wall_s`` must
+    still be present in the fresh payload (a dropped phase fails — it
+    is how a per-scenario regression disappears from the aggregate)
+    and must stay above ``baseline × (1 - phase_threshold)``.  Phases
+    the baseline does not report rates for (pre-refactor baselines,
+    zero-event phases) are skipped, so old baselines keep comparing.
+    """
+    if not 0.0 < phase_threshold < 1.0:
+        raise ValueError(
+            f"phase_threshold must be in (0, 1), got {phase_threshold}"
+        )
+    failures: List[str] = []
+    base_rates = _phase_rates(baseline)
+    fresh_rates = _phase_rates(fresh)
+    for name in sorted(base_rates):
+        base_rate = base_rates[name]
+        if base_rate <= 0.0:
+            continue
+        if name not in fresh_rates:
+            failures.append(
+                f"phase {name!r} reported events_per_wall_s in the "
+                "baseline but is missing from the fresh payload"
+            )
+            continue
+        fresh_rate = fresh_rates[name]
+        allowed = base_rate * (1.0 - phase_threshold)
+        if fresh_rate < allowed:
+            drop = 1.0 - fresh_rate / base_rate
+            failures.append(
+                f"phase regression: {name} events_per_wall_s fell "
+                f"{drop:.1%} (baseline {base_rate:.0f}, fresh "
+                f"{fresh_rate:.0f}, allowed floor {allowed:.0f} at "
+                f"phase threshold {phase_threshold:.0%})"
+            )
+    return failures
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -170,6 +242,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "pre-refactor per-request headline; 0 disables)"
         ),
     )
+    parser.add_argument(
+        "--phase-threshold",
+        type=float,
+        default=DEFAULT_PHASE_THRESHOLD,
+        help=(
+            "allowed fractional events_per_wall_s drop of any single "
+            f"phase (default: {DEFAULT_PHASE_THRESHOLD})"
+        ),
+    )
     args = parser.parse_args(argv)
 
     baseline, errors = load_payload(args.baseline)
@@ -178,6 +259,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if baseline is not None and fresh is not None:
         errors += compare_payloads(
             baseline, fresh, threshold=args.threshold, floor=args.floor
+        )
+        errors += compare_phases(
+            baseline, fresh, phase_threshold=args.phase_threshold
         )
     if errors:
         for line in errors:

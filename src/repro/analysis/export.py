@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import csv
 import json
-from typing import IO, Iterable, Mapping, Optional, Union
+from typing import IO, TYPE_CHECKING, Iterable, Mapping, Optional, Union
 
 from ..metrics.collector import MetricsCollector
 from ..metrics.latency import LatencyStats
@@ -19,11 +19,16 @@ from ..network.request import CompletionRecord
 from ..obs import jsonable
 from ..power.meter import PowerMeter
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..cluster.topology import TopologyMonitor
+    from ..power.budget import PowerBudget
+
 __all__ = [
     "records_to_csv",
     "meter_to_csv",
     "stats_to_json",
     "collector_summary",
+    "topology_summary",
 ]
 
 PathOrFile = Union[str, IO[str]]
@@ -127,6 +132,34 @@ def stats_to_json(
     finally:
         if owned:
             fh.close()
+
+
+def topology_summary(
+    monitor: "TopologyMonitor",
+    meter: PowerMeter,
+    budget: "PowerBudget",
+) -> dict:
+    """JSON-ready hierarchical power summary of one tree run.
+
+    Pairs the facility-level view (``feed_meter``: what the DC-feed
+    meter and its budget say) with the per-node truth (``nodes``: each
+    PDU's budget, peak and violation slots) and names the node most
+    often found to be the *deepest* violation site.  This is the export
+    that makes the paper's blind spot visible: a rack PDU can violate —
+    and be correctly blamed — while ``feed_meter.violated`` is false.
+    """
+    peak_w = meter.peak_power()
+    return jsonable(
+        {
+            "feed_meter": {
+                "budget_w": budget.supply_w,
+                "peak_power_w": peak_w,
+                "violated": budget.violated(peak_w),
+            },
+            "nodes": monitor.report(),
+            "deepest_violator": monitor.deepest_violator(),
+        }
+    )
 
 
 def collector_summary(collector: MetricsCollector) -> dict:

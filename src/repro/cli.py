@@ -45,6 +45,7 @@ from typing import List, Optional, Sequence
 
 from .analysis import DopeRegionAnalyzer, format_table
 from .bench import BENCH_ENGINES, SEED as BENCH_SEED
+from .cluster import FLAT_TOPOLOGY, topology_names
 from .devtools import lint as devtools_lint
 from .bench import run_bench
 from .core import AntiDopeScheme
@@ -97,6 +98,29 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--servers", type=int, default=4, help="rack size (default: 4)"
     )
+    parser.add_argument(
+        "--topology",
+        choices=list(topology_names()),
+        default=FLAT_TOPOLOGY,
+        help=(
+            "power/fabric topology: 'flat' (default, byte-identical to "
+            "the pre-topology simulator) or a tree preset; tree presets "
+            "fix the fleet size, so --servers applies to 'flat' only"
+        ),
+    )
+
+
+def _config(args: argparse.Namespace, **overrides: object) -> SimulationConfig:
+    """Build the configuration the common flags describe.
+
+    Tree presets carry their own fleet size, so ``--servers`` feeds
+    ``num_servers`` only for the flat topology.
+    """
+    kwargs: dict = dict(budget_level=_budget(args.budget), seed=args.seed)
+    kwargs.update(overrides)
+    if args.topology == FLAT_TOPOLOGY:
+        kwargs.setdefault("num_servers", args.servers)
+    return SimulationConfig.for_topology(args.topology, **kwargs)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -260,11 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
 def cmd_region(args: argparse.Namespace) -> int:
     """``repro region`` — sweep and print the DOPE region map."""
     analyzer = DopeRegionAnalyzer(
-        config=SimulationConfig(
-            budget_level=_budget(args.budget),
-            num_servers=args.servers,
-            seed=args.seed,
-        ),
+        config=_config(args),
         num_agents=args.agents,
     )
     result = analyzer.sweep(ALL_TYPES, args.rates)
@@ -287,14 +307,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     """``repro compare`` — run the scheme matrix at one budget."""
     rows = []
     for name in args.schemes:
-        sim = DataCenterSimulation(
-            SimulationConfig(
-                budget_level=_budget(args.budget),
-                num_servers=args.servers,
-                seed=args.seed,
-            ),
-            scheme=SCHEMES[name](),
-        )
+        sim = DataCenterSimulation(_config(args), scheme=SCHEMES[name]())
         sim.add_normal_traffic(rate_rps=40)
         sim.add_flood(
             mix=uniform_mix((COLLA_FILT, K_MEANS, WORD_COUNT)),
@@ -333,14 +346,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_attack(args: argparse.Namespace) -> int:
     """``repro attack`` — run the adaptive attacker and print its trace."""
-    sim = DataCenterSimulation(
-        SimulationConfig(
-            budget_level=_budget(args.budget),
-            num_servers=args.servers,
-            seed=args.seed,
-        ),
-        scheme=CappingScheme(),
-    )
+    sim = DataCenterSimulation(_config(args), scheme=CappingScheme())
     sim.add_normal_traffic(rate_rps=30)
     meter, budget = sim.meter, sim.budget
 
@@ -390,11 +396,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         else tuple(get_type(name) for name in args.types)
     )
     analyzer = DopeRegionAnalyzer(
-        config=SimulationConfig(
-            budget_level=_budget(args.budget),
-            num_servers=args.servers,
-            seed=args.seed,
-        ),
+        config=_config(args),
         window_s=args.window,
         num_agents=args.agents,
     )
@@ -451,6 +453,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         num_servers=args.servers,
         workers=args.workers,
         cache=cache,
+        topology=args.topology,
     )
     text = json.dumps(payload, indent=2, sort_keys=True, allow_nan=False)
     if args.out:

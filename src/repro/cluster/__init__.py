@@ -6,6 +6,15 @@ from .power_model import ServerPowerModel
 from .rack import Rack
 from .server import Server
 from .thermal import ServerThermalModel, ThermalMonitor, cooling_power_w
+from .topology import (
+    FLAT_TOPOLOGY,
+    PowerNode,
+    PowerTopology,
+    TopologyMonitor,
+    TopologySpec,
+    named_topology,
+    topology_names,
+)
 
 __all__ = [
     "PAPER_FREQUENCIES_GHZ",
@@ -13,6 +22,13 @@ __all__ = [
     "ServerPowerModel",
     "Server",
     "Rack",
+    "FLAT_TOPOLOGY",
+    "TopologySpec",
+    "PowerNode",
+    "PowerTopology",
+    "TopologyMonitor",
+    "named_topology",
+    "topology_names",
     "AutoScaler",
     "AutoScalerStats",
     "ScalingEvent",

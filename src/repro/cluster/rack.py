@@ -113,16 +113,28 @@ class Rack:
             return self.total_power_vector()
         return sum(s.current_power() for s in self.servers)
 
-    def total_power_vector(self) -> float:
-        """Vectorised rack power: all servers in one NumPy evaluation.
+    def per_server_power(self) -> List[float]:
+        """Instantaneous per-server power draws, in rack order.
 
-        Bit-identical to ``sum(s.current_power() for s in servers)``:
-        the dynamic term accumulates in type-slot order exactly like
-        :meth:`ServerPowerModel.power_from_counts` (element-wise IEEE
-        float64 ops match the scalar ops one-for-one), servers that
-        never saw a type contribute exact ``0.0`` terms, unhealthy
-        servers are masked to the scalar path's ``0.0``, and the final
-        reduction is the same left-to-right Python sum over servers.
+        The per-element view :meth:`total_power` reduces over; the power
+        topology layer slices it into per-subtree (rack PDU / row PDU /
+        feed) readings.  Mode selection mirrors :meth:`total_power`, and
+        both paths yield bit-identical element values.
+        """
+        if self.engine.batched and len(self.servers) >= _VECTOR_MIN_SERVERS:
+            return self.per_server_power_vector()
+        return [s.current_power() for s in self.servers]
+
+    def per_server_power_vector(self) -> List[float]:
+        """Vectorised per-server power: all servers in one NumPy pass.
+
+        Element-wise bit-identical to ``[s.current_power() for s in
+        servers]``: the dynamic term accumulates in type-slot order
+        exactly like :meth:`ServerPowerModel.power_from_counts`
+        (element-wise IEEE float64 ops match the scalar ops
+        one-for-one), servers that never saw a type contribute exact
+        ``0.0`` terms, and unhealthy servers are masked to the scalar
+        path's ``0.0``.
         """
         servers = self.servers
         self.engine.obs.counters.inc(
@@ -132,7 +144,7 @@ class Rack:
         num_slots = len(table.registry)
         if num_slots == 0:
             # No request ever started — idle floors and crash zeros only.
-            return sum(s.current_power() for s in servers)
+            return [s.current_power() for s in servers]
         n = len(servers)
         counts = np.zeros((n, num_slots))
         levels = np.empty(n, dtype=np.intp)
@@ -149,8 +161,18 @@ class Rack:
             dyn += counts[:, i] * factor_matrix[i, levels]
         power_w = table.idle_array()[levels] + self.power_model._per_worker * dyn
         power_w[~healthy] = 0.0
+        return list(power_w.tolist())
+
+    def total_power_vector(self) -> float:
+        """Vectorised rack power: all servers in one NumPy evaluation.
+
+        Bit-identical to ``sum(s.current_power() for s in servers)``:
+        the elements come from :meth:`per_server_power_vector` and the
+        final reduction is the same left-to-right Python sum over
+        servers.
+        """
         total = 0.0
-        for value in power_w.tolist():
+        for value in self.per_server_power_vector():
             total += value
         return total
 

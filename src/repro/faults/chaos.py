@@ -67,7 +67,11 @@ _STALENESS_BOUND_S = 5.0
 
 
 def _scenario_plan(
-    seed: int, duration_s: float, num_servers: int, profile: str
+    seed: int,
+    duration_s: float,
+    num_servers: int,
+    profile: str,
+    topology: str = "flat",
 ) -> FaultPlan:
     """The scripted fault schedule of one cell.
 
@@ -75,7 +79,10 @@ def _scenario_plan(
     (the control arm); ``"combined"`` is the smoke scenario the ISSUE
     gates on — DOPE flood + one server crash + meter noise + a meter
     dropout long enough to cross the staleness bound; ``"severe"`` adds
-    a whole-rack PDU trip and battery degradation on top.
+    a PDU trip and battery degradation on top.  Under a power tree the
+    severe trip targets ``row0`` — a row-level cascade that takes down
+    that row's racks while the rest of the facility keeps serving —
+    instead of the flat model's whole-fleet blackout.
     """
     plan = FaultPlan(seed=seed)
     if profile == "none":
@@ -96,6 +103,7 @@ def _scenario_plan(
         plan.pdu_trip(
             _ATTACK_START_S + 0.8 * (duration_s - _ATTACK_START_S),
             duration_s=max(4.0, 0.05 * duration_s),
+            node="" if topology == "flat" else "row0",
         )
     return plan
 
@@ -109,6 +117,7 @@ def chaos_cell(
     attack_rate_rps: float = 220.0,
     normal_rate_rps: float = 40.0,
     profile: str = "combined",
+    topology: str = "flat",
 ) -> Dict[str, object]:
     """Run one scheme under the DOPE flood + fault scenario.
 
@@ -117,16 +126,23 @@ def chaos_cell(
     the runner.  Everything in the returned dict is deterministic per
     arguments — no wall-clock values — which is what makes chaos
     payloads byte-identical across worker counts.
+
+    A tree *topology* sizes the fleet from the preset (ignoring
+    *num_servers*), forwards through the ECMP/flowlet fabric and adds
+    the per-node ``topology_report`` to the cell.
     """
+    config = SimulationConfig.for_topology(
+        topology,
+        budget_level=BudgetLevel[budget],
+        seed=seed,
+        **({"num_servers": num_servers} if topology == "flat" else {}),
+    )
+    num_servers = config.num_servers
     sim = DataCenterSimulation(
-        SimulationConfig(
-            budget_level=BudgetLevel[budget],
-            num_servers=num_servers,
-            seed=seed,
-        ),
+        config,
         scheme=_SCHEME_FACTORIES[scheme](),
     )
-    plan = _scenario_plan(seed, duration_s, num_servers, profile)
+    plan = _scenario_plan(seed, duration_s, num_servers, profile, topology)
     injector = FaultInjector(
         sim, plan, staleness_bound_s=_STALENESS_BOUND_S
     )
@@ -155,11 +171,18 @@ def chaos_cell(
     # attack population, which the NORMAL-only split cannot see.
     attribution_all = sim.collector.drop_attribution()
     counters = sim.obs.counters
+    cell: Dict[str, object] = (
+        {}
+        if sim.topology_monitor is None
+        else {"topology_report": sim.topology_monitor.report()}
+    )
     return jsonable(
         {
+            **cell,
             "scheme": scheme,
             "seed": seed,
             "profile": profile,
+            "topology": topology,
             "fault_plan_signature": plan.signature(),
             "faults_injected": dict(sorted(injector.injected.items())),
             "offered": avail.offered,
@@ -197,6 +220,7 @@ def run_chaos(
     cache: Optional[ResultCache] = None,
     recorder: Optional[Recorder] = None,
     name: Optional[str] = None,
+    topology: str = "flat",
 ) -> Dict[str, object]:
     """Run the chaos scheme matrix; return a ``repro-chaos/1`` payload.
 
@@ -204,13 +228,19 @@ def run_chaos(
     90 simulated seconds each; ``"full"`` runs both the combined and the
     severe profile for 240 s.  Cells fan out over *workers* processes
     through :func:`repro.runner.run_cells`; the payload is byte-identical
-    for any worker count (it contains no wall-clock values).
+    for any worker count (it contains no wall-clock values).  A tree
+    *topology* runs every cell against that power tree (fleet sized from
+    the preset).
     """
     if mode not in ("smoke", "full"):
         raise ValueError(f"mode must be 'smoke' or 'full', got {mode!r}")
     check_int("seed", seed, minimum=0)
     check_int("num_servers", num_servers, minimum=2)
     check_int("workers", workers, minimum=1)
+    if topology != "flat":
+        # Validate the preset eagerly (and surface the fleet size the
+        # payload will report) before fanning out worker processes.
+        num_servers = SimulationConfig.for_topology(topology).num_servers
     duration_s = 90.0 if mode == "smoke" else 240.0
     check_positive("duration_s", duration_s)
     profiles = ("combined",) if mode == "smoke" else ("combined", "severe")
@@ -230,6 +260,7 @@ def run_chaos(
                         "num_servers": num_servers,
                         "duration_s": duration_s,
                         "profile": profile,
+                        "topology": topology,
                     },
                     seed=seed,
                 )
@@ -257,6 +288,7 @@ def run_chaos(
         "duration_s": duration_s,
         "profiles": list(profiles),
         "schemes": list(CHAOS_SCHEMES),
+        "topology": topology,
     }
     payload = {
         "schema": CHAOS_SCHEMA_ID,

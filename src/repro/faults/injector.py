@@ -133,8 +133,30 @@ class FaultInjector:
         )
 
     def _pdu_trip(self, event: FaultEvent) -> None:
+        """Fail the tripped PDU's whole subtree (cascade semantics).
+
+        An un-scoped event keeps the legacy behaviour — every server
+        trips (the flat model has exactly one PDU).  A node-scoped event
+        requires the simulation to run a power tree and takes down the
+        named node's subtree only: a row trip cascades into all of its
+        racks' servers, the rest of the facility keeps serving.
+        """
+        if event.node:
+            topology = self.sim.topology
+            if topology is None:
+                raise ValueError(
+                    f"pdu_trip targets node {event.node!r} but the "
+                    "simulation runs the flat topology"
+                )
+            victims = [
+                self.sim.rack.servers[i]
+                for i in topology.servers_under(event.node)
+            ]
+            self.sim.obs.counters.inc(f"topology.pdu_trips.{event.node}")
+        else:
+            victims = list(self.sim.rack.servers)
         tripped: List[int] = []
-        for server in self.sim.rack.servers:
+        for server in victims:
             if server.healthy:
                 tripped.append(server.server_id)
                 server.fail(shed_sink=self.sim.nlb.reroute)

@@ -63,22 +63,32 @@ class FaultEvent:
 
     ``target`` is a server index for server-scoped kinds and ``-1`` for
     rack/infrastructure-wide ones; ``params`` carries the kind-specific
-    knobs (durations, noise levels, fade fractions).
+    knobs (durations, noise levels, fade fractions).  ``node`` scopes a
+    PDU trip to one power-tree node (``"rack0"``, ``"row1"``); the empty
+    string keeps the legacy whole-fleet trip.
     """
 
     time_s: float
     kind: FaultKind
     target: int = -1
     params: Dict[str, float] = field(default_factory=dict)
+    node: str = ""
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-ready form (kind reduced to its string value)."""
-        return {
+        """JSON-ready form (kind reduced to its string value).
+
+        ``node`` serialises only when set, so plans written before the
+        topology layer keep their exact signatures.
+        """
+        out: Dict[str, object] = {
             "time_s": self.time_s,
             "kind": self.kind.value,
             "target": self.target,
             "params": dict(sorted(self.params.items())),
         }
+        if self.node:
+            out["node"] = self.node
+        return out
 
 
 @dataclass
@@ -123,8 +133,17 @@ class FaultPlan:
         )
         return self
 
-    def pdu_trip(self, time_s: float, duration_s: float) -> "FaultPlan":
-        """Trip the rack's branch circuit: every server fails at once."""
+    def pdu_trip(
+        self, time_s: float, duration_s: float, node: str = ""
+    ) -> "FaultPlan":
+        """Trip a branch circuit: its whole subtree fails at once.
+
+        With the default empty *node* every server fails (the flat
+        model's single PDU).  Against a power tree, *node* names the
+        tripped PDU — ``"rack2"``, ``"row0"`` or ``"feed"`` — and the
+        cascade takes down exactly that subtree: a row trip fails all of
+        its racks' servers while the other rows keep serving.
+        """
         check_non_negative("time_s", time_s)
         check_positive("duration_s", duration_s)
         self.events.append(
@@ -132,6 +151,7 @@ class FaultPlan:
                 time_s=time_s,
                 kind=FaultKind.PDU_TRIP,
                 params={"duration_s": duration_s},
+                node=node,
             )
         )
         return self

@@ -1,6 +1,7 @@
 """Network substrate: requests, sources, firewall, load balancer."""
 
 from .anomaly import AggregateAnomalyDetector, AnomalyAlarm
+from .fabric import FlowletEcmpFabric, ecmp_path, splitmix64
 from .firewall import NullFirewall, RateLimitFirewall
 from .load_balancer import (
     LeastLoadedPolicy,
@@ -33,6 +34,9 @@ __all__ = [
     "RoundRobinPolicy",
     "LeastLoadedPolicy",
     "RandomPolicy",
+    "FlowletEcmpFabric",
+    "ecmp_path",
+    "splitmix64",
     "AggregateAnomalyDetector",
     "AnomalyAlarm",
 ]

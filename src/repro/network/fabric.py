@@ -1,0 +1,202 @@
+"""ECMP + flowlet forwarding over a small 2-tier fat-tree.
+
+The flat model rotates one NLB across every server; a real facility
+hashes each flow onto one of ``num_spines × num_racks`` equal-cost paths
+at the fabric edge.  Plain per-flow ECMP *pins* a flow to its hashed
+path for life — exactly what a DOPE source wants, because its elephant
+flow then concentrates power on one rack PDU.  Flowlet switching breaks
+the pin: when a flow pauses for longer than ``flowlet_gap_s`` the next
+burst can safely re-hash to a new path without reordering, so sustained
+attack flows spread across racks instead of heating one of them.
+
+:class:`FlowletEcmpFabric` is a drop-in
+:class:`~repro.network.load_balancer.ForwardingPolicy`: the NLB still
+owns ingress (firewall → admission → healthy filter) and hands this
+policy the healthy server list; the fabric picks the rack via the path
+hash and rotates within the rack.  Hashing is a seeded splitmix64 mix —
+never Python's per-process-salted ``hash()`` — so path choices are
+byte-identical across runs, engines and worker processes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from .._validation import check_int, check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..cluster.server import Server
+    from ..obs import Recorder
+    from .request import Request
+
+__all__ = [
+    "splitmix64",
+    "ecmp_path",
+    "FlowletEcmpFabric",
+]
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def splitmix64(x: int) -> int:
+    """One splitmix64 finalisation round: a fast 64-bit avalanche mix."""
+    x = (x + _GOLDEN) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x
+
+
+def ecmp_path(salt: int, flow_id: int, flowlet_id: int, num_paths: int) -> int:
+    """Deterministic path index for (*flow*, *flowlet*) under *salt*.
+
+    The salt (the run seed) decorrelates path assignments across runs;
+    the flowlet id re-randomises the path at each flowlet boundary.
+    """
+    check_int("num_paths", num_paths, minimum=1)
+    h = splitmix64(splitmix64(salt & _MASK64) ^ (flow_id & _MASK64))
+    h = splitmix64(h ^ (flowlet_id & _MASK64))
+    return h % num_paths
+
+
+class _FlowState:
+    """Per-flow fabric memory: last burst time, flowlet count, path."""
+
+    __slots__ = ("last_seen_s", "flowlet_id", "path")
+
+    def __init__(self, last_seen_s: float, path: int) -> None:
+        self.last_seen_s = last_seen_s
+        self.flowlet_id = 0
+        self.path = path
+
+
+class FlowletEcmpFabric:
+    """NLB forwarding policy hashing flows over a fat-tree's paths.
+
+    Parameters
+    ----------
+    num_racks, servers_per_rack:
+        Tree edge shape; server *s* lives in rack
+        ``s.server_id // servers_per_rack``.
+    num_spines:
+        Spine count; the path space is ``num_spines × num_racks``.
+    flowlet_gap_s:
+        Idle gap after which a flow's next request may re-hash;
+        ``None`` pins each flow to its first hashed path forever.
+    salt:
+        Hash salt (the run seed) for cross-run decorrelation.
+    obs:
+        Recorder for the ``fabric.*`` counters; ``None`` records
+        nothing.
+    """
+
+    def __init__(
+        self,
+        num_racks: int,
+        servers_per_rack: int,
+        num_spines: int = 2,
+        flowlet_gap_s: Optional[float] = 0.05,
+        salt: int = 0,
+        obs: Optional["Recorder"] = None,
+    ) -> None:
+        check_int("num_racks", num_racks, minimum=1)
+        check_int("servers_per_rack", servers_per_rack, minimum=1)
+        check_int("num_spines", num_spines, minimum=1)
+        if flowlet_gap_s is not None:
+            check_positive("flowlet_gap_s", flowlet_gap_s)
+        check_int("salt", salt, minimum=0)
+        self.num_racks = num_racks
+        self.servers_per_rack = servers_per_rack
+        self.num_spines = num_spines
+        self.flowlet_gap_s = flowlet_gap_s
+        self.salt = salt
+        self._counters = obs.counters if obs is not None else None
+        self._flows: Dict[int, _FlowState] = {}
+        self._rack_rr: List[int] = [0] * num_racks
+
+    @property
+    def num_paths(self) -> int:
+        """Size of the ECMP path space."""
+        return self.num_spines * self.num_racks
+
+    def _inc(self, name: str) -> None:
+        if self._counters is not None:
+            self._counters.inc(name)
+
+    def path_of(self, flow_id: int) -> Optional[int]:
+        """The path flow *flow_id* is currently hashed to (None = unseen)."""
+        state = self._flows.get(flow_id)
+        return state.path if state is not None else None
+
+    def rack_of_path(self, path: int) -> int:
+        """The destination rack of *path* (spine = ``path // num_racks``)."""
+        check_int("path", path, minimum=0)
+        return path % self.num_racks
+
+    # ------------------------------------------------------------------
+    # ForwardingPolicy protocol
+    # ------------------------------------------------------------------
+    def select(
+        self, request: "Request", servers: Sequence["Server"]
+    ) -> "Server":
+        """Pick the backend for *request* among healthy *servers*.
+
+        Resolution order: flowlet-aware path hash → destination rack →
+        round-robin within the rack's healthy members.  When the hashed
+        rack has no healthy member the fabric probes subsequent racks in
+        deterministic order (a failover re-route, counted separately so
+        chaos runs can see re-routing happen).
+        """
+        flow_id = request.source_id
+        now_s = request.arrival_time_s
+        state = self._flows.get(flow_id)
+        if state is None:
+            state = _FlowState(
+                now_s, ecmp_path(self.salt, flow_id, 0, self.num_paths)
+            )
+            self._flows[flow_id] = state
+            self._inc("fabric.flows")
+            self._inc("fabric.flowlets")
+        else:
+            gap_s = self.flowlet_gap_s
+            if gap_s is not None and now_s - state.last_seen_s > gap_s:
+                state.flowlet_id += 1
+                self._inc("fabric.flowlets")
+                new_path = ecmp_path(
+                    self.salt, flow_id, state.flowlet_id, self.num_paths
+                )
+                if new_path != state.path:
+                    self._inc("fabric.path_switches")
+                    state.path = new_path
+            state.last_seen_s = now_s
+        rack_idx = state.path % self.num_racks
+        candidates = self._rack_members(rack_idx, servers)
+        if not candidates:
+            for offset in range(1, self.num_racks):
+                probe_idx = (rack_idx + offset) % self.num_racks
+                candidates = self._rack_members(probe_idx, servers)
+                if candidates:
+                    self._inc("fabric.failovers")
+                    rack_idx = probe_idx
+                    break
+        if not candidates:
+            # The NLB only calls with a non-empty healthy list, so some
+            # rack always matches; this guards a direct caller handing
+            # servers from outside the fabric's rack range.
+            candidates = list(servers)
+        slot = self._rack_rr[rack_idx] % len(candidates)
+        self._rack_rr[rack_idx] = slot + 1
+        self._inc(f"fabric.forwarded.rack{rack_idx}")
+        return candidates[slot]
+
+    def _rack_members(
+        self, rack_idx: int, servers: Sequence["Server"]
+    ) -> List["Server"]:
+        return [
+            s
+            for s in servers
+            if s.server_id // self.servers_per_rack == rack_idx
+        ]

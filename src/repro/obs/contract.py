@@ -98,6 +98,14 @@ COUNTER_PREFIXES: FrozenSet[str] = frozenset(
     {
         "faults.injected.",
         "network.nlb_dropped.",
+        # Power-tree families: the tail is a tree node name (rack0,
+        # row1, feed) — violation_slots / deepest_violation_slots from
+        # the topology monitor, cap_slots from per-PDU enforcement,
+        # pdu_trips from node-targeted fault cascades.
+        "topology.",
+        # Fabric families: flows/flowlets/path_switches/failovers plus
+        # per-rack forwarded.rackN tails.
+        "fabric.",
     }
 )
 
@@ -128,6 +136,7 @@ TIMER_NAMES: FrozenSet[str] = frozenset(
         "bench.attack_scenario",
         "bench.chaos_scenario",
         "bench.volume_flood",
+        "bench.tree_topology",
         "bench.region_sweep_cold",
         "bench.region_sweep_warm",
     }

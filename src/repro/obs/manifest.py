@@ -256,4 +256,21 @@ def validate_bench_payload(payload: object) -> List[str]:
             problems.append(
                 f"phases[{index}] must be {{'name': str, 'wall_s': number}}"
             )
+            continue
+        # Optional per-phase throughput fields (added with the tree
+        # phase): when present both must be numeric, and events without
+        # events_per_wall_s (or vice versa) is malformed.
+        has_events = "events" in phase
+        has_rate = "events_per_wall_s" in phase
+        if has_events != has_rate:
+            problems.append(
+                f"phases[{index}] must carry 'events' and "
+                "'events_per_wall_s' together or not at all"
+            )
+        for key in ("events", "events_per_wall_s"):
+            if key in phase and (
+                isinstance(phase[key], bool)
+                or not isinstance(phase[key], (int, float))
+            ):
+                problems.append(f"phases[{index}] {key!r} must be numeric")
     return problems

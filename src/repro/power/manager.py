@@ -26,6 +26,7 @@ __all__ = [
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..cluster.rack import Rack
     from ..cluster.server import Server
+    from ..cluster.topology import PowerTopology
     from ..network.load_balancer import AdmissionFilter, ForwardingPolicy
     from ..sim.engine import EventEngine
     from .sensor import FaultyPowerSensor
@@ -50,6 +51,8 @@ class PowerManagementScheme:
         self.battery: Optional[Battery] = None
         self.slot_s: float = 1.0
         self.bound = False
+        # Optional power tree (hierarchical mode); None = flat rack.
+        self.topology: Optional[PowerTopology] = None
         # Optional faultable sensing path (chaos layer); None = exact.
         self.power_sensor: Optional[FaultyPowerSensor] = None
         self.staleness_bound_s: float = 5.0
@@ -75,6 +78,19 @@ class PowerManagementScheme:
         self.battery = battery
         self.slot_s = float(slot_s)
         self.bound = True
+
+    def bind_topology(self, topology: "PowerTopology") -> None:
+        """Overlay a power tree on the bound rack.
+
+        The tree adds the per-PDU protection sweep to every control
+        slot (when the spec opts in): after the scheme's own step, each
+        rack and row node whose subtree still exceeds its budget gets
+        capped independently — PDU protection belongs to the
+        infrastructure, so it runs under every scheme including
+        :class:`NullScheme`.
+        """
+        self._require_bound()
+        self.topology = topology
 
     def step(self) -> None:
         """One control-slot action.  Default: do nothing."""
@@ -102,6 +118,8 @@ class PowerManagementScheme:
                 counters.inc("power.battery_discharge_slots")
         else:
             self.step()
+        if self.topology is not None and self.topology.spec.enforce_levels:
+            self._enforce_node_budgets()
 
     # ------------------------------------------------------------------
     # NLB hooks
@@ -197,6 +215,60 @@ class PowerManagementScheme:
             else:
                 total += server.current_power()
         return total
+
+    # ------------------------------------------------------------------
+    # Hierarchical (per-PDU) protection
+    # ------------------------------------------------------------------
+    def _enforce_node_budgets(self) -> None:
+        """Cap every tree node whose subtree still exceeds its budget.
+
+        Sweeps deepest nodes first (all racks, then rows; the feed is
+        the scheme's own budget), re-reading subtree power after each
+        cap so a parent only reacts to what its capped children still
+        draw.  Levels only ever move *down* here — the scheme's global
+        decision is a ceiling the PDU protection tightens per subtree.
+        """
+        counters = self.engine.obs.counters
+        for node in self.topology.enforcement_order:
+            servers = self.rack.servers[node.start : node.stop]
+            power_w = 0.0
+            for server in servers:
+                power_w += server.current_power()
+            if power_w <= node.budget_w:
+                continue
+            counters.inc(f"topology.cap_slots.{node.name}")
+            target = self.highest_level_within_subtree(node.budget_w, servers)
+            for server in servers:
+                if server.level > target:
+                    server.set_level(target)
+
+    def predict_subtree_power_at_level(
+        self, level: int, servers: Sequence["Server"]
+    ) -> float:
+        """Power of *servers* alone if all moved to *level* now.
+
+        The subtree analogue of :meth:`predict_power_at_level`: sums
+        only the given servers (a per-PDU budget constrains its own
+        subtree, not the rack), and like it deliberately ignores health.
+        """
+        self._require_bound()
+        self.engine.obs.counters.inc("power.prediction_evals")
+        clamped = self.rack.ladder.clamp(level)
+        total = 0.0
+        for server in servers:
+            total += server.power_at_level(clamped)
+        return total
+
+    def highest_level_within_subtree(
+        self, cap_w: float, servers: Sequence["Server"]
+    ) -> int:
+        """Highest uniform level keeping *servers*' power ≤ *cap_w*."""
+        self._require_bound()
+        ladder = self.rack.ladder
+        for level in range(ladder.max_level, -1, -1):
+            if self.predict_subtree_power_at_level(level, servers) <= cap_w:
+                return level
+        return 0
 
     def highest_level_within(
         self,

@@ -10,14 +10,18 @@ DDoS-deflate-style firewall at 150 req/s and 1-second control slots.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, replace
-from typing import Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from .._validation import (
     check_fraction,
     check_int,
     check_positive,
+    require,
 )
 from ..power.budget import BudgetLevel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..cluster.topology import TopologySpec
 
 __all__ = ["SimulationConfig"]
 
@@ -26,8 +30,12 @@ __all__ = ["SimulationConfig"]
 class SimulationConfig:
     """All infrastructure knobs of one simulated data center."""
 
-    # --- rack -------------------------------------------------------
+    # --- rack / topology --------------------------------------------
     num_servers: int = 4
+    #: Power-tree preset name; ``"flat"`` is the treeless paper model
+    #: and serialises *without* the key so pre-topology configs hash
+    #: identically (the ``--topology flat`` byte-identity contract).
+    topology: str = "flat"
     nameplate_w: float = 100.0
     workers_per_server: int = 8
     queue_capacity: int = 512
@@ -56,6 +64,24 @@ class SimulationConfig:
 
     def __post_init__(self) -> None:
         check_int("num_servers", self.num_servers, minimum=1)
+        # Late import: cluster.topology sits below sim in the layering
+        # DAG but importing it at module scope would cycle through the
+        # cluster package while repro.sim is still initialising.
+        from ..cluster.topology import FLAT_TOPOLOGY, named_topology, topology_names
+
+        require(
+            self.topology in topology_names(),
+            f"unknown topology {self.topology!r}; "
+            f"choose one of {list(topology_names())}",
+        )
+        if self.topology != FLAT_TOPOLOGY:
+            spec = named_topology(self.topology)
+            require(
+                self.num_servers == spec.total_servers,
+                f"topology {self.topology!r} wires {spec.total_servers} "
+                f"servers, config has num_servers={self.num_servers}; "
+                "use SimulationConfig.for_topology to size the fleet",
+            )
         check_positive("nameplate_w", self.nameplate_w)
         check_int("workers_per_server", self.workers_per_server, minimum=1)
         check_int("queue_capacity", self.queue_capacity, minimum=0)
@@ -76,6 +102,24 @@ class SimulationConfig:
     def rack_nameplate_w(self) -> float:
         """Total rack faceplate power (the Normal-PB supply)."""
         return self.nameplate_w * self.num_servers
+
+    @property
+    def topology_spec(self) -> Optional["TopologySpec"]:
+        """The tree preset, or ``None`` for the flat model."""
+        from ..cluster.topology import FLAT_TOPOLOGY, named_topology
+
+        if self.topology == FLAT_TOPOLOGY:
+            return None
+        return named_topology(self.topology)
+
+    @classmethod
+    def for_topology(cls, name: str, **kwargs: Any) -> "SimulationConfig":
+        """A config sized for topology *name* (fleet size from the spec)."""
+        from ..cluster.topology import FLAT_TOPOLOGY, named_topology
+
+        if name != FLAT_TOPOLOGY:
+            kwargs.setdefault("num_servers", named_topology(name).total_servers)
+        return cls(topology=name, **kwargs)
 
     @property
     def supply_w(self) -> float:
@@ -101,6 +145,11 @@ class SimulationConfig:
         """JSON-ready dict; the budget level serialises as its name."""
         out = asdict(self)
         out["budget_level"] = self.budget_level.name
+        if self.topology == "flat":
+            # The flat default serialises without the key: configs from
+            # before the topology layer hash identically, which is what
+            # keeps `--topology flat` byte-identical to pre-tree runs.
+            del out["topology"]
         return out
 
     @classmethod

@@ -26,10 +26,12 @@ import numpy as np
 from ..cluster.dvfs import FrequencyLadder
 from ..cluster.power_model import ServerPowerModel
 from ..cluster.rack import Rack
+from ..cluster.topology import PowerTopology, TopologyMonitor
 from ..metrics.availability import AvailabilityReport, availability
 from ..metrics.collector import MetricsCollector
 from ..metrics.energy import EnergyAccountant, EnergyReport
 from ..metrics.latency import LatencyStats
+from ..network.fabric import FlowletEcmpFabric
 from ..network.firewall import NullFirewall, RateLimitFirewall
 from ..network.load_balancer import (
     NetworkLoadBalancer,
@@ -117,9 +119,31 @@ class DataCenterSimulation:
             completion_sink=self.collector.sink,
             queue_timeout_s=config.queue_timeout_s,
         )
-        self.budget = PowerBudget.for_level(
-            config.budget_level, self.rack.nameplate_w
-        )
+        # The power tree (None in the flat model).  Tree mode overlays
+        # per-node budgets on the same flat server list; the enforced
+        # top-level budget — what the meter and every scheme see — is
+        # the DC feed's oversubscribed supply rather than the full rack
+        # nameplate.
+        spec = config.topology_spec
+        self.topology: Optional[PowerTopology] = None
+        self.topology_monitor: Optional[TopologyMonitor] = None
+        self.fabric: Optional[FlowletEcmpFabric] = None
+        if spec is not None:
+            self.topology = PowerTopology(
+                spec,
+                server_nameplate_w=config.nameplate_w,
+                budget_fraction=config.budget_level.fraction,
+            )
+            self.topology_monitor = TopologyMonitor(
+                self.engine, self.rack, self.topology
+            )
+            self.budget = PowerBudget(
+                self.topology.feed.budget_w, config.budget_level
+            )
+        else:
+            self.budget = PowerBudget.for_level(
+                config.budget_level, self.rack.nameplate_w
+            )
         self.battery: Optional[Battery] = (
             Battery.for_rack(
                 self.rack.nameplate_w,
@@ -134,6 +158,8 @@ class DataCenterSimulation:
         self.scheme.bind(
             self.engine, self.rack, self.budget, self.battery, config.slot_s
         )
+        if self.topology is not None:
+            self.scheme.bind_topology(self.topology)
 
         if config.use_firewall:
             self.firewall: RateLimitFirewall = RateLimitFirewall(
@@ -145,7 +171,22 @@ class DataCenterSimulation:
             self.firewall = NullFirewall()
         self.firewall.attach(self.engine)
 
-        policy = self.scheme.forwarding_policy(self.rack.servers) or RoundRobinPolicy()
+        # Scheme-specific policies (Anti-DOPE's PDF) win; otherwise a
+        # tree forwards through the ECMP/flowlet fabric and the flat
+        # model keeps its single-NLB rotation.
+        policy = self.scheme.forwarding_policy(self.rack.servers)
+        if policy is None and spec is not None:
+            self.fabric = FlowletEcmpFabric(
+                num_racks=spec.num_racks,
+                servers_per_rack=spec.servers_per_rack,
+                num_spines=spec.num_spines,
+                flowlet_gap_s=spec.flowlet_gap_s,
+                salt=config.seed,
+                obs=self.engine.obs,
+            )
+            policy = self.fabric
+        if policy is None:
+            policy = RoundRobinPolicy()
         self.nlb = NetworkLoadBalancer(
             servers=self.rack.servers,
             policy=policy,
@@ -282,6 +323,8 @@ class DataCenterSimulation:
         """
         if not self._started:
             self.meter.start()
+            if self.topology_monitor is not None:
+                self.topology_monitor.start(self.config.meter_interval_s)
             self.engine.every(
                 self.config.slot_s,
                 self.scheme.slot_tick,
@@ -327,6 +370,12 @@ class DataCenterSimulation:
             counters=self.obs.counters.as_dict(),
             timings_s=self.obs.timers.as_dict(),
         )
+
+    def topology_report(self) -> Optional[dict]:
+        """Per-node power/violation summary, or ``None`` in flat mode."""
+        if self.topology_monitor is None:
+            return None
+        return self.topology_monitor.report()
 
     # ------------------------------------------------------------------
     # Results

@@ -25,3 +25,13 @@ def record_aggregate_flow(counters, timers):
     counters.inc("cluster.power_model_vector_evals", 16)
     with timers.phase("bench.volume_flood"):
         pass
+
+
+def record_topology(counters, timers, node):
+    """The power-tree/fabric families, declared by prefix."""
+    counters.inc("fabric.flows")
+    counters.inc("fabric.path_switches")
+    counters.inc(f"topology.violation_slots.{node}")
+    counters.inc(f"topology.cap_slots.{node}")
+    with timers.phase("bench.tree_topology"):
+        pass

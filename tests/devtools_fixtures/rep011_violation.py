@@ -19,3 +19,10 @@ def record_aggregate_flow(counters, timers):
     counters.inc("cluster.power_model_vector_eval")  # VIOLATION: typo of vector_evals
     with timers.phase("bench.volume_floods"):  # VIOLATION: typo of bench.volume_flood
         pass
+
+
+def record_topology(counters, timers, node):
+    counters.inc("fabrc.path_switches")  # VIOLATION: typo of the fabric. prefix
+    counters.inc(f"topologee.cap_slots.{node}")  # VIOLATION: typo of the topology. prefix
+    with timers.phase("bench.tree_topologies"):  # VIOLATION: typo of bench.tree_topology
+        pass

@@ -132,6 +132,97 @@ def test_absolute_floor_enforces_min_speedup(bench_compare):
     )
 
 
+def _phased(value=1000.0, tree_rate=2000.0, flat_rate=5000.0):
+    payload = _payload(value)
+    payload["phases"] = [
+        {
+            "name": "bench.attack_scenario",
+            "wall_s": 0.5,
+            "events": flat_rate * 0.5,
+            "events_per_wall_s": flat_rate,
+        },
+        {
+            "name": "bench.tree_topology",
+            "wall_s": 0.5,
+            "events": tree_rate * 0.5,
+            "events_per_wall_s": tree_rate,
+        },
+        # A phase with no throughput fields (pre-refactor shape).
+        {"name": "bench.region_sweep_cold", "wall_s": 0.1},
+        # A zero-event phase: skipped by the per-phase gate.
+        {
+            "name": "bench.region_sweep_warm",
+            "wall_s": 0.1,
+            "events": 0.0,
+            "events_per_wall_s": 0.0,
+        },
+    ]
+    return payload
+
+
+def test_phase_within_threshold_passes(bench_compare):
+    base = _phased()
+    fresh = _phased(tree_rate=1100.0, flat_rate=2600.0)  # drops < 50%
+    assert bench_compare.compare_phases(base, fresh) == []
+
+
+def test_phase_regression_fails_even_when_aggregate_holds(bench_compare):
+    # The flat path collapses to a tenth of its rate while the tree
+    # phase (and the aggregate headline) stays flat: the per-phase gate
+    # must catch what the headline hides.
+    base = _phased()
+    fresh = _phased(flat_rate=500.0)
+    assert bench_compare.compare_payloads(base, fresh, floor=0.0) == []
+    failures = bench_compare.compare_phases(base, fresh)
+    assert len(failures) == 1
+    assert "bench.attack_scenario" in failures[0]
+    assert "phase regression" in failures[0]
+
+
+def test_missing_phase_in_fresh_payload_fails(bench_compare):
+    base = _phased()
+    fresh = _phased()
+    fresh["phases"] = [
+        p for p in fresh["phases"] if p["name"] != "bench.tree_topology"
+    ]
+    failures = bench_compare.compare_phases(base, fresh)
+    assert len(failures) == 1
+    assert "bench.tree_topology" in failures[0]
+    assert "missing" in failures[0]
+
+
+def test_zero_and_rateless_phases_are_skipped(bench_compare):
+    base = _phased()
+    fresh = _phased()
+    # Remove the phases the gate must ignore from the fresh payload:
+    # no failure may mention them.
+    fresh["phases"] = [p for p in fresh["phases"] if "sweep" not in p["name"]]
+    assert bench_compare.compare_phases(base, fresh) == []
+    # A baseline with no phase rates at all (pre-refactor) always passes.
+    legacy = _payload()
+    assert bench_compare.compare_phases(legacy, _phased()) == []
+
+
+def test_phase_threshold_validation_and_custom_value(bench_compare):
+    base = _phased()
+    fresh = _phased(tree_rate=1500.0)  # a 25% tree-phase drop
+    assert bench_compare.compare_phases(base, fresh) == []
+    assert bench_compare.compare_phases(base, fresh, phase_threshold=0.10)
+    with pytest.raises(ValueError, match="phase_threshold"):
+        bench_compare.compare_phases(base, fresh, phase_threshold=0.0)
+
+
+def test_main_applies_the_phase_gate(bench_compare, tmp_path):
+    base = tmp_path / "base.json"
+    fresh = tmp_path / "fresh.json"
+    base.write_text(json.dumps(_phased()))
+    fresh.write_text(json.dumps(_phased(flat_rate=500.0)))
+    args = [str(base), str(fresh), "--floor", "0"]
+    assert bench_compare.main(args) == 1
+    # Loosening the per-phase threshold lets the same payload pass.
+    assert bench_compare.main(args + ["--phase-threshold", "0.95"]) == 0
+
+
 def test_main_exit_codes(bench_compare, tmp_path):
     base = tmp_path / "base.json"
     fresh = tmp_path / "fresh.json"

@@ -2,10 +2,11 @@
 
 The pinned dev container has no ``actionlint``, so this suite is the
 schema check keeping the workflow honest: it must parse as YAML, define
-the four jobs the repo's CI contract names (lint, test matrix,
-bench-smoke, golden equivalence), run the *same* gate script a
-developer runs locally, and cover the supported Python matrix with pip
-caching.
+the five jobs the repo's CI contract names (lint, test matrix,
+bench-smoke, golden equivalence, topology equivalence), run the *same*
+gate script a developer runs locally, cover the supported Python matrix
+with pip caching keyed on both packaging manifests, and cancel
+superseded runs of the same ref.
 """
 
 from pathlib import Path
@@ -37,12 +38,20 @@ def test_workflow_parses_and_triggers_on_push_and_pr(workflow):
     assert triggers["push"]["branches"] == ["main"]
 
 
-def test_workflow_defines_the_four_contract_jobs(workflow):
+def test_workflow_cancels_superseded_runs(workflow):
+    # A new push to the same PR/branch must cancel the stale run.
+    concurrency = workflow["concurrency"]
+    assert "github.ref" in concurrency["group"]
+    assert concurrency["cancel-in-progress"] is True
+
+
+def test_workflow_defines_the_five_contract_jobs(workflow):
     assert set(workflow["jobs"]) == {
         "lint",
         "test",
         "bench-smoke",
         "equivalence",
+        "topology-equivalence",
     }
 
 
@@ -56,6 +65,11 @@ def test_every_job_checks_out_and_sets_up_python_with_pip_cache(workflow):
             if step.get("uses", "").startswith("actions/setup-python@")
         )
         assert setup["with"]["cache"] == "pip", name
+        # Cache keys must track both packaging manifests: an edit to
+        # either pyproject.toml or setup.py invalidates the pip cache.
+        dependency_path = setup["with"]["cache-dependency-path"]
+        assert "pyproject.toml" in dependency_path, name
+        assert "setup.py" in dependency_path, name
 
 
 def test_lint_job_runs_all_three_linters(workflow):
@@ -83,7 +97,7 @@ def test_lint_job_uploads_sarif_to_code_scanning(workflow):
 def test_test_job_matrix_covers_supported_pythons(workflow):
     test = workflow["jobs"]["test"]
     versions = test["strategy"]["matrix"]["python-version"]
-    assert versions == ["3.10", "3.11", "3.12"]
+    assert versions == ["3.10", "3.11", "3.12", "3.13"]
     setup = next(
         step
         for step in _steps(test)
@@ -117,6 +131,19 @@ def test_equivalence_job_runs_suite_and_two_worker_cross_check(workflow):
     assert "diff sweep_scalar.txt sweep_batched.txt" in runs
 
 
+def test_topology_equivalence_job_runs_suite_and_tree_cross_check(workflow):
+    runs = _run_lines(workflow["jobs"]["topology-equivalence"])
+    # The flat-identity + headline-scenario suite.
+    assert "tests/test_topology_equivalence.py" in runs
+    # The tree preset must cross-check both engines over worker
+    # processes, mirroring the flat equivalence job's sweep contract.
+    assert "REPRO_BENCH_ENGINE=scalar" in runs
+    assert "REPRO_BENCH_ENGINE=batched" in runs
+    assert runs.count("--topology tree-small") == 2
+    assert runs.count("--workers 2") == 2
+    assert "diff sweep_tree_scalar.txt sweep_tree_batched.txt" in runs
+
+
 def test_bench_smoke_job_runs_bench_and_regression_gate(workflow):
     runs = _run_lines(workflow["jobs"]["bench-smoke"])
     assert "python -m repro bench --smoke --out BENCH_smoke.json" in runs
@@ -124,6 +151,9 @@ def test_bench_smoke_job_runs_bench_and_regression_gate(workflow):
         "python scripts/bench_compare.py BENCH_baseline.json BENCH_smoke.json"
         in runs
     )
+    # The per-phase gate must be pinned explicitly so a default change
+    # in bench_compare.py cannot silently loosen CI.
+    assert "--phase-threshold 0.5" in runs
 
 
 def test_bench_smoke_job_uploads_bench_telemetry(workflow):
@@ -143,3 +173,9 @@ def test_ci_commands_reference_only_existing_paths(workflow):
     assert (root / "scripts" / "bench_compare.py").is_file()
     assert (root / "BENCH_baseline.json").is_file()
     assert (root / "lint-baseline.json").is_file()
+    for job in workflow["jobs"].values():
+        for line in _run_lines(job).splitlines():
+            if "tests/test_" in line:
+                for token in line.split():
+                    if token.startswith("tests/test_"):
+                        assert (root / token).is_file(), token

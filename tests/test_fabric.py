@@ -1,0 +1,175 @@
+"""Unit coverage of flowlet-aware ECMP forwarding (repro.network.fabric)."""
+
+import pytest
+
+from repro.network import FlowletEcmpFabric, ecmp_path, splitmix64
+from repro.obs import Recorder
+
+
+class _FakeServer:
+    def __init__(self, server_id: int) -> None:
+        self.server_id = server_id
+
+
+class _FakeRequest:
+    def __init__(self, source_id: int, arrival_time_s: float) -> None:
+        self.source_id = source_id
+        self.arrival_time_s = arrival_time_s
+
+
+def _fleet(num_racks=4, servers_per_rack=4):
+    return [_FakeServer(i) for i in range(num_racks * servers_per_rack)]
+
+
+def _fabric(obs=None, **kwargs):
+    kwargs.setdefault("num_racks", 4)
+    kwargs.setdefault("servers_per_rack", 4)
+    return FlowletEcmpFabric(obs=obs, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Hashing
+# ----------------------------------------------------------------------
+
+
+def test_splitmix64_matches_the_reference_vector():
+    # First output of the reference SplitMix64 stream seeded with 0.
+    assert splitmix64(0) == 0xE220A8397B1DCDAF
+    assert splitmix64((1 << 64) - 1) != splitmix64(0)
+    assert 0 <= splitmix64(123456789) < (1 << 64)
+
+
+def test_ecmp_path_is_deterministic_and_in_range():
+    for salt in (0, 7, 2**63):
+        for flow in (0, 1, 999):
+            for flowlet in (0, 1, 2):
+                a = ecmp_path(salt, flow, flowlet, 8)
+                b = ecmp_path(salt, flow, flowlet, 8)
+                assert a == b
+                assert 0 <= a < 8
+
+
+def test_ecmp_path_decorrelates_across_salts():
+    paths_a = [ecmp_path(1, flow, 0, 64) for flow in range(200)]
+    paths_b = [ecmp_path(2, flow, 0, 64) for flow in range(200)]
+    assert paths_a != paths_b
+
+
+def test_ecmp_path_rejects_empty_path_space():
+    with pytest.raises(ValueError):
+        ecmp_path(0, 0, 0, 0)
+
+
+# ----------------------------------------------------------------------
+# Flow pinning vs flowlet switching
+# ----------------------------------------------------------------------
+
+
+def test_pinned_flow_always_lands_in_its_hashed_rack():
+    fabric = _fabric(flowlet_gap_s=None, salt=3)
+    servers = _fleet()
+    first = fabric.select(_FakeRequest(42, 0.0), servers)
+    rack = first.server_id // 4
+    # Long gaps between requests: a pinned flow must never re-hash.
+    for step in range(1, 50):
+        chosen = fabric.select(_FakeRequest(42, step * 10.0), servers)
+        assert chosen.server_id // 4 == rack
+    assert fabric.path_of(42) is not None
+    assert fabric.rack_of_path(fabric.path_of(42)) == rack
+
+
+def test_flowlet_gap_allows_rehash_and_counts_switches():
+    obs = Recorder()
+    fabric = _fabric(obs=obs, flowlet_gap_s=0.05, salt=0)
+    servers = _fleet()
+    # Bursts separated by 10x the flowlet gap: each burst may re-hash.
+    for flow in range(8):
+        for burst in range(20):
+            fabric.select(_FakeRequest(flow, burst * 0.5), servers)
+    counters = obs.counters
+    assert counters.get("fabric.flows") == 8
+    # Every burst after the first opens a new flowlet per flow.
+    assert counters.get("fabric.flowlets") == 8 * 20
+    # With 8 paths, re-hashes land on a different path most of the time.
+    assert counters.get("fabric.path_switches") > 0
+
+
+def test_requests_within_the_gap_do_not_open_flowlets():
+    obs = Recorder()
+    fabric = _fabric(obs=obs, flowlet_gap_s=0.05)
+    servers = _fleet()
+    for i in range(100):
+        fabric.select(_FakeRequest(7, i * 0.01), servers)  # gap 10 ms < 50 ms
+    assert obs.counters.get("fabric.flowlets") == 1
+    assert obs.counters.get("fabric.path_switches") == 0
+
+
+def test_round_robin_rotates_within_the_destination_rack():
+    fabric = _fabric(flowlet_gap_s=None)
+    servers = _fleet()
+    chosen = [
+        fabric.select(_FakeRequest(5, i * 0.001), servers).server_id
+        for i in range(8)
+    ]
+    racks = {s // 4 for s in chosen}
+    assert len(racks) == 1
+    # Four members, eight picks: each member served exactly twice.
+    assert sorted(chosen) == sorted(chosen[:4] * 2)
+    assert len(set(chosen[:4])) == 4
+
+
+# ----------------------------------------------------------------------
+# Failover + conservation
+# ----------------------------------------------------------------------
+
+
+def test_failover_probes_the_next_rack_when_hashed_rack_is_down():
+    obs = Recorder()
+    fabric = _fabric(obs=obs, flowlet_gap_s=None)
+    servers = _fleet()
+    target = fabric.select(_FakeRequest(11, 0.0), servers)
+    rack = target.server_id // 4
+    healthy = [s for s in servers if s.server_id // 4 != rack]
+    rerouted = fabric.select(_FakeRequest(11, 1.0), healthy)
+    assert rerouted.server_id // 4 != rack
+    assert obs.counters.get("fabric.failovers") == 1
+
+
+def test_out_of_range_servers_fall_back_to_the_given_list():
+    fabric = _fabric(num_racks=2, servers_per_rack=2)
+    outsiders = [_FakeServer(100), _FakeServer(101)]
+    chosen = fabric.select(_FakeRequest(0, 0.0), outsiders)
+    assert chosen in outsiders
+
+
+def test_every_select_is_counted_on_exactly_one_rack():
+    obs = Recorder()
+    fabric = _fabric(obs=obs, flowlet_gap_s=0.05)
+    servers = _fleet()
+    n = 500
+    for i in range(n):
+        fabric.select(_FakeRequest(i % 13, i * 0.02), servers)
+    counters = obs.counters.as_dict()
+    forwarded = sum(
+        value
+        for name, value in counters.items()
+        if name.startswith("fabric.forwarded.rack")
+    )
+    assert forwarded == n
+
+
+def test_fabric_without_recorder_stays_silent():
+    fabric = _fabric(obs=None)
+    servers = _fleet()
+    for i in range(10):
+        assert fabric.select(_FakeRequest(i, i * 0.1), servers) in servers
+
+
+def test_path_space_and_validation():
+    fabric = _fabric(num_racks=3, servers_per_rack=2, num_spines=4)
+    assert fabric.num_paths == 12
+    assert fabric.path_of(999) is None
+    with pytest.raises(ValueError):
+        FlowletEcmpFabric(num_racks=0, servers_per_rack=4)
+    with pytest.raises(ValueError):
+        FlowletEcmpFabric(num_racks=2, servers_per_rack=2, flowlet_gap_s=0.0)
