@@ -30,6 +30,7 @@ Quickstart::
 
 from ._version import __version__
 from .core import AntiDopeScheme, DPMPlanner, PDFPolicy, SuspectList
+from .detect import OnlineDetectScheme
 from .metrics import LatencyStats, MetricsCollector
 from .power import (
     Battery,
@@ -56,6 +57,7 @@ __all__ = [
     "ShavingScheme",
     "TokenScheme",
     "AntiDopeScheme",
+    "OnlineDetectScheme",
     "SuspectList",
     "PDFPolicy",
     "DPMPlanner",

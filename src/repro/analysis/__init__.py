@@ -1,7 +1,13 @@
 """Analysis helpers: CDFs, DOPE-region sweeps, tabular reporting."""
 
 from .cdf import EmpiricalCDF
-from .export import collector_summary, meter_to_csv, records_to_csv, stats_to_json
+from .export import (
+    collector_summary,
+    detector_summary,
+    meter_to_csv,
+    records_to_csv,
+    stats_to_json,
+)
 from .region import DopeRegionAnalyzer, RegionCell, RegionResult
 from .report import format_table, print_table
 from .sweep import GridSweep, MetricSummary, replicate
@@ -20,4 +26,5 @@ __all__ = [
     "meter_to_csv",
     "stats_to_json",
     "collector_summary",
+    "detector_summary",
 ]

@@ -23,6 +23,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from .._validation import check_int, check_positive, require
+from ..detect import make_scheme, validate_scheme_names
 from ..obs import Recorder
 from ..power.budget import BudgetLevel
 from ..runner import CellSpec, ResultCache, canonical_json, run_cells
@@ -49,6 +50,11 @@ class RegionCell:
     budget_w: float
     violated: bool
     detected: bool
+    #: True when the probe ran under a detection-capable scheme and the
+    #: scheme quarantined at least one flood source.  Folded into
+    #: ``detected`` already; kept separately so the fig11 comparison can
+    #: attribute detections to the firewall vs the online detector.
+    detector_flagged: bool = False
 
     @property
     def zone(self) -> str:
@@ -80,6 +86,18 @@ class RegionResult:
     def dope_cells(self) -> List[RegionCell]:
         """All cells inside the DOPE region."""
         return [c for c in self.cells if c.zone == "dope"]
+
+    def dope_fraction(self) -> float:
+        """Fraction of swept cells inside the DOPE region.
+
+        The fig11 headline metric: a detection scheme *shrinks* this
+        number relative to the unmanaged (or static-list) sweep of the
+        same grid, because cells it flags migrate from ``dope`` to
+        ``detected``.
+        """
+        if not self.cells:
+            return 0.0
+        return len(self.dope_cells()) / len(self.cells)
 
     def dope_onset_rate(self, type_name: str) -> Optional[float]:
         """Lowest swept rate at which *type_name* enters the DOPE region."""
@@ -122,6 +140,12 @@ class DopeRegionAnalyzer:
         detection frontier to higher aggregate rates.
     background_rate_rps:
         Legitimate load present during the probe.
+    scheme:
+        Optional scheme name (see :data:`repro.detect.SCHEME_NAMES`) to
+        run each probe under.  ``None`` keeps the classic unmanaged
+        sweep.  With a detection-capable scheme (``online-detect``) a
+        cell also counts as *detected* when the scheme quarantines any
+        flood source — the detectable-region comparison of fig11.
     """
 
     def __init__(
@@ -130,14 +154,18 @@ class DopeRegionAnalyzer:
         window_s: float = 60.0,
         num_agents: int = 20,
         background_rate_rps: float = 20.0,
+        scheme: Optional[str] = None,
     ) -> None:
         check_positive("window_s", window_s)
         check_int("num_agents", num_agents, minimum=1)
         check_positive("background_rate_rps", background_rate_rps)
+        if scheme is not None:
+            validate_scheme_names([scheme])
         self.config = config or SimulationConfig(budget_level=BudgetLevel.MEDIUM)
         self.window_s = float(window_s)
         self.num_agents = num_agents
         self.background_rate_rps = float(background_rate_rps)
+        self.scheme = scheme
 
     def probe(self, rtype: RequestType, rate_rps: float) -> RegionCell:
         """Run one cell and classify it.
@@ -151,11 +179,16 @@ class DopeRegionAnalyzer:
         engine_mode, fluid = resolve_engine_selection(
             engine_from_env(default="batched")
         )
+        scheme = (
+            make_scheme(self.scheme, self.config)
+            if self.scheme is not None
+            else None
+        )
         sim = DataCenterSimulation(
-            self.config, engine_mode=engine_mode, fluid=fluid
+            self.config, scheme=scheme, engine_mode=engine_mode, fluid=fluid
         )
         sim.add_normal_traffic(rate_rps=self.background_rate_rps, num_users=50)
-        sim.add_flood(
+        flood = sim.add_flood(
             mix=rtype,
             rate_rps=rate_rps,
             num_agents=self.num_agents,
@@ -163,7 +196,13 @@ class DopeRegionAnalyzer:
         )
         sim.run(self.window_s)
         peak = sim.meter.peak_power()
-        detected = sim.firewall.stats.bans > 0
+        flagged = False
+        if scheme is not None and hasattr(scheme, "suspect_sources"):
+            pool = flood.source_pool
+            flagged = any(
+                pool.contains(source) for source in scheme.suspect_sources
+            )
+        detected = sim.firewall.stats.bans > 0 or flagged
         return RegionCell(
             type_name=rtype.name,
             rate_rps=rate_rps,
@@ -172,6 +211,7 @@ class DopeRegionAnalyzer:
             budget_w=sim.budget.supply_w,
             violated=peak > sim.budget.supply_w,
             detected=detected,
+            detector_flagged=flagged,
         )
 
     def sweep(
@@ -221,15 +261,20 @@ class DopeRegionAnalyzer:
         return RegionResult(cells)
 
     def experiment_id(self) -> str:
-        """Cache identity: the probe routine plus every analyzer knob."""
-        fingerprint = canonical_json(
-            {
-                "config": asdict(self.config),
-                "window_s": self.window_s,
-                "num_agents": self.num_agents,
-                "background_rate_rps": self.background_rate_rps,
-            }
-        )
+        """Cache identity: the probe routine plus every analyzer knob.
+
+        The ``scheme`` key only appears when a scheme is set — classic
+        unmanaged sweeps keep their pre-detector cache identity.
+        """
+        knobs = {
+            "config": asdict(self.config),
+            "window_s": self.window_s,
+            "num_agents": self.num_agents,
+            "background_rate_rps": self.background_rate_rps,
+        }
+        if self.scheme is not None:
+            knobs["scheme"] = self.scheme
+        fingerprint = canonical_json(knobs)
         return f"repro.analysis.region.DopeRegionAnalyzer.probe/{fingerprint}"
 
 

@@ -30,6 +30,7 @@ from typing import Dict, Optional, Tuple
 from ._version import __version__
 from .analysis import DopeRegionAnalyzer
 from .core import AntiDopeScheme
+from .detect import OnlineDetectScheme
 from .faults import FaultInjector, FaultPlan
 from .obs import BENCH_SCHEMA_ID, Recorder, config_hash, validate_bench_payload
 from .power import BudgetLevel, CappingScheme
@@ -167,6 +168,7 @@ class BenchPlan:
     chaos_duration_s: float
     volume_duration_s: float
     tree_duration_s: float
+    online_detect_duration_s: float
 
 
 def plan_for(mode: str) -> BenchPlan:
@@ -182,6 +184,7 @@ def plan_for(mode: str) -> BenchPlan:
             chaos_duration_s=30.0,
             volume_duration_s=60.0,
             tree_duration_s=30.0,
+            online_detect_duration_s=30.0,
         )
     if mode == "full":
         return BenchPlan(
@@ -194,6 +197,7 @@ def plan_for(mode: str) -> BenchPlan:
             chaos_duration_s=90.0,
             volume_duration_s=120.0,
             tree_duration_s=90.0,
+            online_detect_duration_s=90.0,
         )
     raise ValueError(f"mode must be 'smoke' or 'full', got {mode!r}")
 
@@ -270,6 +274,9 @@ def run_bench(
     mark = _events_now()
     _tree_topology_scenario(plan, recorder, seed, engine_mode, engine_fluid)
     phase_events["bench.tree_topology"] = _events_now() - mark
+    mark = _events_now()
+    _online_detect_scenario(plan, recorder, seed, engine_mode, engine_fluid)
+    phase_events["bench.online_detect"] = _events_now() - mark
 
     analyzer = DopeRegionAnalyzer(
         config=SimulationConfig(budget_level=BudgetLevel.MEDIUM, seed=seed),
@@ -457,6 +464,39 @@ def _tree_topology_scenario(
             closed_loop=False,
         )
         sim.run(plan.tree_duration_s)
+
+
+def _online_detect_scenario(
+    plan: BenchPlan,
+    recorder: Recorder,
+    seed: int,
+    mode: str,
+    fluid: bool,
+) -> None:
+    """The inference-pipeline phase: streaming detection under a flood.
+
+    OnlineDetect on the flat rack under the evaluation flood: every
+    admitted arrival crosses the per-source feature tap, every
+    completion updates the attributed-energy windows, and every control
+    slot walks the full score-and-quarantine pass over the source
+    population.  Its own phase keeps the detector's per-request
+    overhead visible to the per-phase regression gate rather than
+    diluted into the attack phase's Anti-DOPE numbers.
+    """
+    with recorder.timers.phase("bench.online_detect"):
+        engine = EventEngine(obs=recorder, mode=mode, fluid=fluid)
+        cfg = SimulationConfig(budget_level=BudgetLevel.LOW, seed=seed)
+        sim = DataCenterSimulation(
+            cfg, scheme=OnlineDetectScheme(), engine=engine
+        )
+        sim.add_normal_traffic(rate_rps=NORMAL_RATE_RPS)
+        sim.add_flood(
+            mix=ATTACK_MIX,
+            rate_rps=ATTACK_RATE_RPS,
+            num_agents=20,
+            start_s=5.0,
+        )
+        sim.run(plan.online_detect_duration_s)
 
 
 def _phase_entry(

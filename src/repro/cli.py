@@ -46,11 +46,11 @@ from typing import List, Optional, Sequence
 from .analysis import DopeRegionAnalyzer, format_table
 from .bench import BENCH_ENGINES, SEED as BENCH_SEED
 from .cluster import FLAT_TOPOLOGY, topology_names
+from .detect import PLACEMENTS, SCHEME_NAMES, make_scheme
 from .devtools import lint as devtools_lint
 from .bench import run_bench
-from .core import AntiDopeScheme
 from .faults import run_chaos
-from .power import BudgetLevel, CappingScheme, ShavingScheme, TokenScheme
+from .power import BudgetLevel
 from .runner import ResultCache
 from .sim import DataCenterSimulation, SimulationConfig
 from .workloads import (
@@ -74,14 +74,6 @@ __all__ = [
     "cmd_lint",
     "main",
 ]
-
-SCHEMES = {
-    "capping": CappingScheme,
-    "shaving": ShavingScheme,
-    "token": TokenScheme,
-    "anti-dope": AntiDopeScheme,
-}
-
 
 def _budget(name: str) -> BudgetLevel:
     return BudgetLevel[name.upper()]
@@ -108,6 +100,51 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
             "fix the fleet size, so --servers applies to 'flat' only"
         ),
     )
+    parser.add_argument(
+        "--detect-placement",
+        choices=list(PLACEMENTS),
+        default="dc",
+        help=(
+            "quarantine-pool placement for the online-detect scheme: "
+            "'dc' (default) carves one pool per data center, 'row' "
+            "isolates one server per power-tree row"
+        ),
+    )
+
+
+def _add_scheme_selector(parser: argparse.ArgumentParser) -> None:
+    """The region/sweep scheme selector: one sweep per selected scheme.
+
+    ``--scheme X`` is shorthand for ``--schemes X``; with neither, the
+    sweep runs unmanaged (the classic Fig. 11 raw-vulnerability map).
+    """
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--scheme",
+        choices=list(SCHEME_NAMES),
+        default=None,
+        help="run the sweep under one defense scheme (default: unmanaged)",
+    )
+    group.add_argument(
+        "--schemes",
+        nargs="+",
+        choices=list(SCHEME_NAMES),
+        default=None,
+        metavar="SCHEME",
+        help="sweep once per scheme and compare DOPE-region sizes",
+    )
+
+
+def _selected_schemes(args: argparse.Namespace) -> List[Optional[str]]:
+    """Scheme list a region/sweep command should iterate over.
+
+    ``[None]`` means one unmanaged sweep (the historical behaviour).
+    """
+    if getattr(args, "scheme", None):
+        return [args.scheme]
+    if getattr(args, "schemes", None):
+        return list(args.schemes)
+    return [None]
 
 
 def _config(args: argparse.Namespace, **overrides: object) -> SimulationConfig:
@@ -116,7 +153,11 @@ def _config(args: argparse.Namespace, **overrides: object) -> SimulationConfig:
     Tree presets carry their own fleet size, so ``--servers`` feeds
     ``num_servers`` only for the flat topology.
     """
-    kwargs: dict = dict(budget_level=_budget(args.budget), seed=args.seed)
+    kwargs: dict = dict(
+        budget_level=_budget(args.budget),
+        seed=args.seed,
+        detect_placement=getattr(args, "detect_placement", "dc"),
+    )
     kwargs.update(overrides)
     if args.topology == FLAT_TOPOLOGY:
         kwargs.setdefault("num_servers", args.servers)
@@ -141,6 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="attack rates to sweep",
     )
     region.add_argument("--agents", type=int, default=20)
+    _add_scheme_selector(region)
 
     compare = sub.add_parser(
         "compare", help="compare Table-2 schemes under a DOPE flood"
@@ -151,8 +193,8 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--schemes",
         nargs="+",
-        choices=sorted(SCHEMES),
-        default=sorted(SCHEMES),
+        choices=list(SCHEME_NAMES),
+        default=list(SCHEME_NAMES),
     )
 
     attack = sub.add_parser(
@@ -162,6 +204,12 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--agents", type=int, default=40)
     attack.add_argument("--max-rate", type=float, default=1200.0)
     attack.add_argument("--duration", type=float, default=400.0)
+    attack.add_argument(
+        "--scheme",
+        choices=list(SCHEME_NAMES),
+        default="capping",
+        help="victim's defense scheme (default: capping)",
+    )
 
     sweep = sub.add_parser(
         "sweep",
@@ -197,6 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="on-disk result cache; repeat sweeps reuse stored cells",
     )
+    _add_scheme_selector(sweep)
 
     bench = sub.add_parser(
         "bench", help="machine-readable benchmark (repro-bench/1 JSON)"
@@ -266,6 +315,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the JSON payload here (default: stdout)",
     )
+    chaos.add_argument(
+        "--schemes",
+        nargs="+",
+        choices=list(SCHEME_NAMES),
+        default=None,
+        metavar="SCHEME",
+        help="restrict the chaos matrix to a scheme subset (default: all)",
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -283,23 +340,43 @@ def build_parser() -> argparse.ArgumentParser:
 
 def cmd_region(args: argparse.Namespace) -> int:
     """``repro region`` — sweep and print the DOPE region map."""
-    analyzer = DopeRegionAnalyzer(
-        config=_config(args),
-        num_agents=args.agents,
-    )
-    result = analyzer.sweep(ALL_TYPES, args.rates)
-    print(
-        format_table(
-            ["type"] + [f"{int(r)}rps" for r in args.rates],
-            [
-                (t.name, *(result.zone_of(t.name, r) for r in args.rates))
-                for t in ALL_TYPES
-            ],
-            title=f"DOPE region ({args.budget}, {args.agents} agents)",
+    summary = []
+    for scheme in _selected_schemes(args):
+        analyzer = DopeRegionAnalyzer(
+            config=_config(args),
+            num_agents=args.agents,
+            scheme=scheme,
         )
-    )
-    dope = result.dope_cells()
-    print(f"\n{len(dope)} of {len(result.cells)} swept cells are in the DOPE region")
+        result = analyzer.sweep(ALL_TYPES, args.rates)
+        label = scheme if scheme else "unmanaged"
+        print(
+            format_table(
+                ["type"] + [f"{int(r)}rps" for r in args.rates],
+                [
+                    (t.name, *(result.zone_of(t.name, r) for r in args.rates))
+                    for t in ALL_TYPES
+                ],
+                title=(
+                    f"DOPE region ({args.budget}, {args.agents} agents, "
+                    f"{label})"
+                ),
+            )
+        )
+        dope = result.dope_cells()
+        print(
+            f"\n{len(dope)} of {len(result.cells)} swept cells are in the "
+            "DOPE region"
+        )
+        summary.append((label, len(dope), len(result.cells)))
+    if len(summary) > 1:
+        print()
+        print(
+            format_table(
+                ["scheme", "dope cells", "swept"],
+                summary,
+                title="DOPE-region size by scheme",
+            )
+        )
     return 0
 
 
@@ -307,7 +384,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
     """``repro compare`` — run the scheme matrix at one budget."""
     rows = []
     for name in args.schemes:
-        sim = DataCenterSimulation(_config(args), scheme=SCHEMES[name]())
+        config = _config(args)
+        sim = DataCenterSimulation(config, scheme=make_scheme(name, config))
         sim.add_normal_traffic(rate_rps=40)
         sim.add_flood(
             mix=uniform_mix((COLLA_FILT, K_MEANS, WORD_COUNT)),
@@ -346,7 +424,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_attack(args: argparse.Namespace) -> int:
     """``repro attack`` — run the adaptive attacker and print its trace."""
-    sim = DataCenterSimulation(_config(args), scheme=CappingScheme())
+    config = _config(args)
+    sim = DataCenterSimulation(config, scheme=make_scheme(args.scheme, config))
     sim.add_normal_traffic(rate_rps=30)
     meter, budget = sim.meter, sim.budget
 
@@ -395,30 +474,47 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if args.types is None
         else tuple(get_type(name) for name in args.types)
     )
-    analyzer = DopeRegionAnalyzer(
-        config=_config(args),
-        window_s=args.window,
-        num_agents=args.agents,
-    )
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
-    result = analyzer.sweep(
-        types, args.rates, workers=args.workers, cache=cache
-    )
-    print(
-        format_table(
-            ["type"] + [f"{int(r)}rps" for r in args.rates],
-            [
-                (t.name, *(result.zone_of(t.name, r) for r in args.rates))
-                for t in types
-            ],
-            title=(
-                f"DOPE region sweep ({args.budget}, {args.agents} agents, "
-                f"{len(result.cells)} cells)"
-            ),
+    summary = []
+    for scheme in _selected_schemes(args):
+        analyzer = DopeRegionAnalyzer(
+            config=_config(args),
+            window_s=args.window,
+            num_agents=args.agents,
+            scheme=scheme,
         )
-    )
-    dope = result.dope_cells()
-    print(f"\n{len(dope)} of {len(result.cells)} swept cells are in the DOPE region")
+        result = analyzer.sweep(
+            types, args.rates, workers=args.workers, cache=cache
+        )
+        label = scheme if scheme else "unmanaged"
+        print(
+            format_table(
+                ["type"] + [f"{int(r)}rps" for r in args.rates],
+                [
+                    (t.name, *(result.zone_of(t.name, r) for r in args.rates))
+                    for t in types
+                ],
+                title=(
+                    f"DOPE region sweep ({args.budget}, {args.agents} agents, "
+                    f"{len(result.cells)} cells, {label})"
+                ),
+            )
+        )
+        dope = result.dope_cells()
+        print(
+            f"\n{len(dope)} of {len(result.cells)} swept cells are in the "
+            "DOPE region"
+        )
+        summary.append((label, len(dope), len(result.cells)))
+    if len(summary) > 1:
+        print()
+        print(
+            format_table(
+                ["scheme", "dope cells", "swept"],
+                summary,
+                title="DOPE-region size by scheme",
+            )
+        )
     if cache is not None:
         print(f"cache: {cache.hits} hit(s), {cache.misses} miss(es)")
     return 0
@@ -454,6 +550,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache=cache,
         topology=args.topology,
+        schemes=args.schemes,
     )
     text = json.dumps(payload, indent=2, sort_keys=True, allow_nan=False)
     if args.out:

@@ -1,0 +1,34 @@
+"""repro.detect — streaming feature extraction + online DOPE detection.
+
+An inference pipeline on top of the simulator: per-source behavioural
+features over exponential-decay windows (:mod:`~repro.detect.features`),
+a deterministic streaming anomaly scorer with warm-up and hysteresis
+(:mod:`~repro.detect.model`), and the :class:`OnlineDetectScheme` fifth
+Table-2 scheme that feeds live verdicts into a dynamic suspect pool on
+the NLB forwarding path (:mod:`~repro.detect.scheme`).  The scheme
+registry (:mod:`~repro.detect.registry`) is the single factory table
+every by-name driver (CLI, chaos, region) resolves through.
+"""
+
+from .features import SourceFeatures, StreamingFeatureExtractor
+from .model import OnlineAnomalyModel
+from .registry import (
+    SCHEME_FACTORIES,
+    SCHEME_NAMES,
+    make_scheme,
+    validate_scheme_names,
+)
+from .scheme import PLACEMENTS, DynamicSuspectPolicy, OnlineDetectScheme
+
+__all__ = [
+    "SourceFeatures",
+    "StreamingFeatureExtractor",
+    "OnlineAnomalyModel",
+    "DynamicSuspectPolicy",
+    "OnlineDetectScheme",
+    "PLACEMENTS",
+    "SCHEME_FACTORIES",
+    "SCHEME_NAMES",
+    "make_scheme",
+    "validate_scheme_names",
+]

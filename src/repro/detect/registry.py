@@ -1,0 +1,66 @@
+"""The five-scheme factory registry (Table 2 plus OnlineDetect).
+
+Every driver that builds schemes by name — the CLI, the chaos sweep,
+the region analyzer — resolves through this one table, so adding a
+scheme is a one-line diff here and the ``--scheme``/``--schemes``
+surface everywhere picks it up with consistent validation errors.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..core.anti_dope import AntiDopeScheme
+from ..power.capping import CappingScheme
+from ..power.manager import PowerManagementScheme
+from ..power.shaving import ShavingScheme
+from ..power.token_bucket import TokenScheme
+from .scheme import OnlineDetectScheme
+
+if TYPE_CHECKING:  # pragma: no cover - layering: detect sits below sim
+    from ..sim.config import SimulationConfig
+
+__all__ = [
+    "SCHEME_FACTORIES",
+    "SCHEME_NAMES",
+    "make_scheme",
+    "validate_scheme_names",
+]
+
+SCHEME_FACTORIES: Dict[str, Callable[[], PowerManagementScheme]] = {
+    "capping": CappingScheme,
+    "shaving": ShavingScheme,
+    "token": TokenScheme,
+    "anti-dope": AntiDopeScheme,
+    "online-detect": OnlineDetectScheme,
+}
+
+#: Stable (sorted) scheme-name tuple for CLI help and defaults.
+SCHEME_NAMES: Tuple[str, ...] = tuple(sorted(SCHEME_FACTORIES))
+
+
+def validate_scheme_names(names: Iterable[str]) -> List[str]:
+    """Return *names* as a list; raise a clear error on unknown ones."""
+    requested = list(names)
+    unknown = sorted(set(requested) - set(SCHEME_FACTORIES))
+    if unknown:
+        raise ValueError(
+            f"unknown scheme name(s) {unknown}; "
+            f"choose from {list(SCHEME_NAMES)}"
+        )
+    return requested
+
+
+def make_scheme(
+    name: str, config: Optional["SimulationConfig"] = None
+) -> PowerManagementScheme:
+    """Build scheme *name*, threading config-level detector knobs.
+
+    ``online-detect`` reads ``config.detect_placement`` (per-DC vs
+    per-row quarantine pool) when a config is supplied; every other
+    scheme ignores the config entirely.
+    """
+    validate_scheme_names([name])
+    if name == "online-detect" and config is not None:
+        return OnlineDetectScheme(placement=config.detect_placement)
+    return SCHEME_FACTORIES[name]()

@@ -42,6 +42,7 @@ _PLAIN_PACKAGES = frozenset(
         "power",
         "metrics",
         "core",
+        "detect",
         "analysis",
         "devtools",
         "runner",
@@ -89,6 +90,21 @@ ALLOWED_IMPORTS: Dict[str, FrozenSet[str]] = {
             "power",
         }
     ),
+    # The online-detection pipeline sits beside core: it reuses core's
+    # RPM/DPM actuation half and hooks the same network/cluster taps,
+    # but stays below sim so schemes remain objects the facade consumes.
+    "detect": frozenset(
+        {
+            "validation",
+            "obs",
+            "sim.kernel",
+            "workloads.catalog",
+            "network",
+            "cluster",
+            "power",
+            "core",
+        }
+    ),
     "sim": frozenset(
         {
             "validation",
@@ -120,6 +136,7 @@ ALLOWED_IMPORTS: Dict[str, FrozenSet[str]] = {
             "power",
             "metrics",
             "core",
+            "detect",
             "sim",
         }
     ),
@@ -140,6 +157,7 @@ ALLOWED_IMPORTS: Dict[str, FrozenSet[str]] = {
             "power",
             "metrics",
             "core",
+            "detect",
             "sim",
         }
     ),

@@ -2,9 +2,10 @@
 
 The paper evaluates Capping/Shaving/Token/Anti-DOPE against a traffic
 flood with the infrastructure behaving perfectly.  The chaos sweep asks
-the harsher question the fault layer exists for: how do the same four
-schemes degrade when the flood coincides with a server crash, a noisy
-or silent power meter, and a battery that stops cooperating?
+the harsher question the fault layer exists for: how do those schemes —
+plus the ``online-detect`` streaming detector — degrade when the flood
+coincides with a server crash, a noisy or silent power meter, and a
+battery that stops cooperating?
 
 One :func:`chaos_cell` is one (scheme, scenario) run: it scripts a
 deterministic :class:`~repro.faults.plan.FaultPlan` from the cell
@@ -24,14 +25,14 @@ result caching.  The payload follows the hand-validated
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .._validation import check_int, check_positive
 from .._version import __version__
-from ..core import AntiDopeScheme
+from ..detect import make_scheme, validate_scheme_names
 from ..metrics.latency import LatencyStats
 from ..obs import Recorder, config_hash, jsonable
-from ..power import BudgetLevel, CappingScheme, ShavingScheme, TokenScheme
+from ..power import BudgetLevel
 from ..runner import CellSpec, ResultCache, run_cells
 from ..sim import DataCenterSimulation, SimulationConfig
 from ..workloads import COLLA_FILT, K_MEANS, WORD_COUNT, TrafficClass, uniform_mix
@@ -49,15 +50,16 @@ __all__ = [
 #: Identifier stamped into every chaos document this version emits.
 CHAOS_SCHEMA_ID = "repro-chaos/1"
 
-#: The Table-2 scheme matrix the sweep compares.
-CHAOS_SCHEMES: Tuple[str, ...] = ("capping", "shaving", "token", "anti-dope")
-
-_SCHEME_FACTORIES = {
-    "capping": CappingScheme,
-    "shaving": ShavingScheme,
-    "token": TokenScheme,
-    "anti-dope": AntiDopeScheme,
-}
+#: The scheme matrix the sweep compares: Table 2 plus the online
+#: detector.  ``online-detect`` stays LAST — downstream consumers index
+#: cells positionally and the capping control arm must remain first.
+CHAOS_SCHEMES: Tuple[str, ...] = (
+    "capping",
+    "shaving",
+    "token",
+    "anti-dope",
+    "online-detect",
+)
 
 #: Attack onset within every chaos cell.
 _ATTACK_START_S = 20.0
@@ -138,10 +140,8 @@ def chaos_cell(
         **({"num_servers": num_servers} if topology == "flat" else {}),
     )
     num_servers = config.num_servers
-    sim = DataCenterSimulation(
-        config,
-        scheme=_SCHEME_FACTORIES[scheme](),
-    )
+    scheme_obj = make_scheme(scheme, config)
+    sim = DataCenterSimulation(config, scheme=scheme_obj)
     plan = _scenario_plan(seed, duration_s, num_servers, profile, topology)
     injector = FaultInjector(
         sim, plan, staleness_bound_s=_STALENESS_BOUND_S
@@ -176,6 +176,11 @@ def chaos_cell(
         if sim.topology_monitor is None
         else {"topology_report": sim.topology_monitor.report()}
     )
+    if hasattr(scheme_obj, "report"):
+        # Online-detection cells carry the detector's verdict state so
+        # the chaos document shows graceful degradation under meter
+        # faults (calibration clamps, quarantine churn) per profile.
+        cell["detector"] = jsonable(scheme_obj.report())
     return jsonable(
         {
             **cell,
@@ -221,22 +226,29 @@ def run_chaos(
     recorder: Optional[Recorder] = None,
     name: Optional[str] = None,
     topology: str = "flat",
+    schemes: Optional[Sequence[str]] = None,
 ) -> Dict[str, object]:
     """Run the chaos scheme matrix; return a ``repro-chaos/1`` payload.
 
-    ``"smoke"`` runs the four schemes through the combined scenario for
+    ``"smoke"`` runs the scheme matrix through the combined scenario for
     90 simulated seconds each; ``"full"`` runs both the combined and the
     severe profile for 240 s.  Cells fan out over *workers* processes
     through :func:`repro.runner.run_cells`; the payload is byte-identical
     for any worker count (it contains no wall-clock values).  A tree
     *topology* runs every cell against that power tree (fleet sized from
-    the preset).
+    the preset).  *schemes* restricts the matrix to a subset (order
+    preserved); unknown names raise with the full menu.
     """
     if mode not in ("smoke", "full"):
         raise ValueError(f"mode must be 'smoke' or 'full', got {mode!r}")
     check_int("seed", seed, minimum=0)
     check_int("num_servers", num_servers, minimum=2)
     check_int("workers", workers, minimum=1)
+    selected: Tuple[str, ...] = (
+        CHAOS_SCHEMES
+        if schemes is None
+        else tuple(validate_scheme_names(schemes))
+    )
     if topology != "flat":
         # Validate the preset eagerly (and surface the fleet size the
         # payload will report) before fanning out worker processes.
@@ -249,7 +261,7 @@ def run_chaos(
 
     specs: List[CellSpec] = []
     for profile in profiles:
-        for scheme in CHAOS_SCHEMES:
+        for scheme in selected:
             specs.append(
                 CellSpec(
                     index=len(specs),
@@ -287,7 +299,7 @@ def run_chaos(
         "num_servers": num_servers,
         "duration_s": duration_s,
         "profiles": list(profiles),
-        "schemes": list(CHAOS_SCHEMES),
+        "schemes": list(selected),
         "topology": topology,
     }
     payload = {

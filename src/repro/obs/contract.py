@@ -106,6 +106,10 @@ COUNTER_PREFIXES: FrozenSet[str] = frozenset(
         # Fabric families: flows/flowlets/path_switches/failovers plus
         # per-rack forwarded.rackN tails.
         "fabric.",
+        # Online-detection pipeline: arrival/completion taps, dynamic
+        # suspect-pool forwarding splits, quarantine enter/exit churn,
+        # warm-up slots and calibration clamping under meter faults.
+        "detect.",
     }
 )
 
@@ -137,6 +141,7 @@ TIMER_NAMES: FrozenSet[str] = frozenset(
         "bench.chaos_scenario",
         "bench.volume_flood",
         "bench.tree_topology",
+        "bench.online_detect",
         "bench.region_sweep_cold",
         "bench.region_sweep_warm",
     }

@@ -59,6 +59,14 @@ class SimulationConfig:
     # --- measurement ------------------------------------------------
     meter_interval_s: float = 1.0
 
+    # --- online detection -------------------------------------------
+    #: Quarantine-pool placement of the ``online-detect`` scheme:
+    #: ``"dc"`` carves one pool at the end of rack order, ``"row"``
+    #: isolates one server per row of a power tree.  The default
+    #: serialises *without* the key (same contract as ``topology``) so
+    #: pre-detector configs hash identically.
+    detect_placement: str = "dc"
+
     # --- reproducibility --------------------------------------------
     seed: int = 0
 
@@ -96,6 +104,11 @@ class SimulationConfig:
         check_positive("firewall_poll_s", self.firewall_poll_s)
         check_positive("firewall_ban_s", self.firewall_ban_s)
         check_positive("meter_interval_s", self.meter_interval_s)
+        require(
+            self.detect_placement in ("dc", "row"),
+            f"detect_placement must be 'dc' or 'row', "
+            f"got {self.detect_placement!r}",
+        )
         check_int("seed", self.seed, minimum=0)
 
     @property
@@ -150,6 +163,10 @@ class SimulationConfig:
             # before the topology layer hash identically, which is what
             # keeps `--topology flat` byte-identical to pre-tree runs.
             del out["topology"]
+        if self.detect_placement == "dc":
+            # Same delete-at-default contract: pre-detector configs and
+            # cached experiment ids keep their identity.
+            del out["detect_placement"]
         return out
 
     @classmethod

@@ -65,6 +65,12 @@ class DopeAdjustment:
     detected: bool
     effective: bool
     state: AttackerState
+    #: True when the victim's *online detector* (not the firewall) had
+    #: the attacker's sources quarantined at decision time.
+    quarantined: bool = False
+    #: Fraction of the attack mix diluted toward benign-looking traffic
+    #: to evade behavioural scoring (0.0 = pure attack mix).
+    dilution: float = 0.0
 
 
 @dataclass
@@ -124,6 +130,24 @@ class DopeAttacker:
         banned identities are burned, the attack continues from new
         ones.  Each rotation allocates a new source block from the
         registry.
+    quarantine_signal:
+        Zero-argument callable returning True when the attacker infers
+        its sources are quarantined by an *online detector* (e.g. its
+        requests land on the slow suspect pool — latency degradation it
+        can measure externally).  Defaults to never-quarantined, which
+        keeps the classic Fig. 12 loop byte-identical.
+    dilution_step:
+        Evasion knob: per-adjustment increase of the benign-mix dilution
+        applied while quarantined.  Diluting toward the benign mix
+        lowers the attacker's entropy/power anomaly at the cost of
+        attack potency (a diluted request stream burns less power per
+        request).  ``0.0`` (default) disables evasion.
+    max_dilution:
+        Ceiling on the dilution fraction; at least one request in
+        ``1/(1-max_dilution)`` stays on the attack mix.
+    dilution_mix:
+        Benign-looking mix to dilute toward; defaults to the uniform
+        all-types catalog mix (what a normal user population requests).
     """
 
     def __init__(
@@ -144,8 +168,12 @@ class DopeAttacker:
         backoff_factor: float = 0.7,
         rotate_on_detection: bool = False,
         label: str = "dope",
+        quarantine_signal: Optional[Callable[[], bool]] = None,
+        dilution_step: float = 0.0,
+        max_dilution: float = 0.8,
+        dilution_mix: Optional[RequestMix] = None,
     ) -> None:
-        from .catalog import COLLA_FILT, K_MEANS, WORD_COUNT
+        from .catalog import ALL_TYPES, COLLA_FILT, K_MEANS, WORD_COUNT
 
         check_positive("initial_rate_rps", initial_rate_rps)
         check_positive("rate_step_rps", rate_step_rps)
@@ -155,6 +183,14 @@ class DopeAttacker:
         check_positive("adjust_interval_s", adjust_interval_s)
         if not 0.0 < backoff_factor < 1.0:
             raise ValueError(f"backoff_factor must be in (0,1), got {backoff_factor}")
+        if not 0.0 <= dilution_step <= 1.0:
+            raise ValueError(
+                f"dilution_step must be in [0,1], got {dilution_step}"
+            )
+        if not 0.0 <= max_dilution < 1.0:
+            raise ValueError(
+                f"max_dilution must be in [0,1), got {max_dilution}"
+            )
 
         self.engine = engine
         self.rng = rng
@@ -173,9 +209,16 @@ class DopeAttacker:
         self.state = AttackerState.PROBING
         self.stats = DopeStats()
 
+        self.quarantine_signal = quarantine_signal or (lambda: False)
+        self.dilution_step = float(dilution_step)
+        self.max_dilution = float(max_dilution)
+        self.dilution = 0.0
+
         pool = registry.allocate(label, TrafficClass.ATTACK, num_agents)
         self.pool = pool
         mix = target_mix or uniform_mix((COLLA_FILT, K_MEANS, WORD_COUNT))
+        self.target_mix = mix
+        self.dilution_mix = dilution_mix or uniform_mix(ALL_TYPES)
         self.think_s = 0.2
         # The attack tools are closed-loop (fixed concurrency); the
         # attacker's "rate" knob maps onto the client-pool size.
@@ -236,9 +279,34 @@ class DopeAttacker:
         self.pool = pool
         self.generator.source_pool = pool
 
+    def _blended_mix(self) -> RequestMix:
+        """Attack mix diluted toward the benign mix by ``self.dilution``."""
+        if self.dilution <= 0.0:
+            return self.target_mix
+        weights: dict = {}
+        for rtype, weight in zip(self.target_mix.types, self.target_mix.weights):
+            weights[rtype] = weights.get(rtype, 0.0) + weight * (
+                1.0 - self.dilution
+            )
+        for rtype, weight in zip(
+            self.dilution_mix.types, self.dilution_mix.weights
+        ):
+            weights[rtype] = weights.get(rtype, 0.0) + weight * self.dilution
+        return RequestMix(weights)
+
     def _adjust(self) -> None:
         detected = bool(self.detection_signal())
         effective = bool(self.effect_signal())
+        quarantined = bool(self.quarantine_signal())
+        if quarantined and self.dilution_step > 0.0:
+            # Anti-detector evasion: blend benign-looking requests into
+            # the stream so the behavioural scores (entropy, per-request
+            # power) drift back toward the population baseline.  The
+            # cost is potency — diluted requests burn less power.
+            self.dilution = min(
+                self.max_dilution, self.dilution + self.dilution_step
+            )
+            self.generator.mix = self._blended_mix()
         if detected:
             self.state = AttackerState.BACKING_OFF
             self.rate_rps = max(1.0, self.rate_rps * self.backoff_factor)
@@ -261,6 +329,8 @@ class DopeAttacker:
                 detected=detected,
                 effective=effective,
                 state=self.state,
+                quarantined=quarantined,
+                dilution=self.dilution,
             )
         )
 

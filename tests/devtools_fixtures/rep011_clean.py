@@ -35,3 +35,12 @@ def record_topology(counters, timers, node):
     counters.inc(f"topology.cap_slots.{node}")
     with timers.phase("bench.tree_topology"):
         pass
+
+
+def record_detection(counters, timers):
+    """The online-detector family, declared by the detect. prefix."""
+    counters.inc("detect.arrivals_observed")
+    counters.inc("detect.quarantine_enters", 3)
+    counters.inc("detect.calibration_clamped")
+    with timers.phase("bench.online_detect"):
+        pass

@@ -26,3 +26,10 @@ def record_topology(counters, timers, node):
     counters.inc(f"topologee.cap_slots.{node}")  # VIOLATION: typo of the topology. prefix
     with timers.phase("bench.tree_topologies"):  # VIOLATION: typo of bench.tree_topology
         pass
+
+
+def record_detection(counters, timers):
+    counters.inc("detct.arrivals_observed")  # VIOLATION: typo of the detect. prefix
+    counters.inc("detect-quarantine_enters")  # VIOLATION: dash where the detect. prefix has a dot
+    with timers.phase("bench.online_detct"):  # VIOLATION: typo of bench.online_detect
+        pass

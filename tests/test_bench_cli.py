@@ -135,6 +135,7 @@ def test_bench_cli_smoke_emits_schema_valid_json(tmp_path, capsys):
     assert phase_names == {
         "bench.attack_scenario",
         "bench.chaos_scenario",
+        "bench.online_detect",
         "bench.tree_topology",
         "bench.volume_flood",
         "bench.region_sweep_cold",

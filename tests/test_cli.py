@@ -148,13 +148,14 @@ class TestChaosCommand:
         out = tmp_path / "chaos.json"
         code = main(["chaos", "--smoke", "--seed", "4", "--out", str(out)])
         assert code == 0
-        assert "4 cells" in capsys.readouterr().out
+        assert "5 cells" in capsys.readouterr().out
         payload = json.loads(out.read_text())
         assert validate_chaos_payload(payload) == []
         assert payload["schema"] == "repro-chaos/1"
         assert sorted(c["scheme"] for c in payload["cells"]) == [
             "anti-dope",
             "capping",
+            "online-detect",
             "shaving",
             "token",
         ]

@@ -30,6 +30,7 @@ from repro import (
     AntiDopeScheme,
     CappingScheme,
     DataCenterSimulation,
+    OnlineDetectScheme,
     ShavingScheme,
     SimulationConfig,
     TokenScheme,
@@ -46,6 +47,7 @@ SCHEMES = {
     "shaving": ShavingScheme,
     "token": TokenScheme,
     "anti-dope": AntiDopeScheme,
+    "online-detect": OnlineDetectScheme,
 }
 
 SEEDS = (1, 2, 3)
@@ -101,6 +103,21 @@ GOLDEN = {
     "token/3": (
         "cb7a210bc03b27f8a1a33361d2d1b523e579061daca404f295b7bbfaccc0712a",
         "a274a5507ba276353cb7712db9f43d3b0afa13a104f4180f09fa7b2b150e19ae",
+    ),
+    # online-detect joined the matrix later; its entries were captured
+    # on the tree that introduced the scheme and are frozen from that
+    # point on, like the four above.
+    "online-detect/1": (
+        "7de62dd29f2b2b88e1a02a96d342bea8732c4e2eaf2c946746affea0c41c85f8",
+        "0e73ffe6edb51bcc4125d86a8f04eca6afbdde502a82926e11790d7c26f2f3ea",
+    ),
+    "online-detect/2": (
+        "f473cb0395c11c3e4229b3270610f0289d06474500605723e902c6b6c81d89f5",
+        "9871c32cdb704a79221df15e3d871010e7e99c4ec106e3e59b32c7c119de6726",
+    ),
+    "online-detect/3": (
+        "c0994d1ddb40859fe30e3469a8566fc42085a00c731d1f18a6dbb5f3b63f4398",
+        "2f36a2805e50db40898bc2fdc2563a4c19ed7b93e66002c38a6a71723836610b",
     ),
 }
 
