@@ -39,6 +39,7 @@ from .power import (
     NullScheme,
     PowerBudget,
     PowerManagementScheme,
+    PredictionScheme,
     ShavingScheme,
     TokenScheme,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "CappingScheme",
     "ShavingScheme",
     "TokenScheme",
+    "PredictionScheme",
     "AntiDopeScheme",
     "OnlineDetectScheme",
     "SuspectList",

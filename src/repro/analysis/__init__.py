@@ -6,6 +6,7 @@ from .export import (
     detector_summary,
     meter_to_csv,
     records_to_csv,
+    region_delta_summary,
     stats_to_json,
 )
 from .region import DopeRegionAnalyzer, RegionCell, RegionResult
@@ -27,4 +28,5 @@ __all__ = [
     "stats_to_json",
     "collector_summary",
     "detector_summary",
+    "region_delta_summary",
 ]

@@ -33,7 +33,7 @@ from .core import AntiDopeScheme
 from .detect import OnlineDetectScheme
 from .faults import FaultInjector, FaultPlan
 from .obs import BENCH_SCHEMA_ID, Recorder, config_hash, validate_bench_payload
-from .power import BudgetLevel, CappingScheme
+from .power import BudgetLevel, CappingScheme, PredictionScheme
 from .runner import ResultCache
 from .sim import DataCenterSimulation, SimulationConfig
 from .sim.engine import (
@@ -169,6 +169,7 @@ class BenchPlan:
     volume_duration_s: float
     tree_duration_s: float
     online_detect_duration_s: float
+    prediction_duration_s: float
 
 
 def plan_for(mode: str) -> BenchPlan:
@@ -185,6 +186,7 @@ def plan_for(mode: str) -> BenchPlan:
             volume_duration_s=60.0,
             tree_duration_s=30.0,
             online_detect_duration_s=30.0,
+            prediction_duration_s=30.0,
         )
     if mode == "full":
         return BenchPlan(
@@ -198,6 +200,7 @@ def plan_for(mode: str) -> BenchPlan:
             volume_duration_s=120.0,
             tree_duration_s=90.0,
             online_detect_duration_s=90.0,
+            prediction_duration_s=90.0,
         )
     raise ValueError(f"mode must be 'smoke' or 'full', got {mode!r}")
 
@@ -277,6 +280,9 @@ def run_bench(
     mark = _events_now()
     _online_detect_scenario(plan, recorder, seed, engine_mode, engine_fluid)
     phase_events["bench.online_detect"] = _events_now() - mark
+    mark = _events_now()
+    _prediction_scenario(plan, recorder, seed, engine_mode, engine_fluid)
+    phase_events["bench.prediction"] = _events_now() - mark
 
     analyzer = DopeRegionAnalyzer(
         config=SimulationConfig(budget_level=BudgetLevel.MEDIUM, seed=seed),
@@ -497,6 +503,39 @@ def _online_detect_scenario(
             start_s=5.0,
         )
         sim.run(plan.online_detect_duration_s)
+
+
+def _prediction_scenario(
+    plan: BenchPlan,
+    recorder: Recorder,
+    seed: int,
+    mode: str,
+    fluid: bool,
+) -> None:
+    """The predictor phase: history-driven oversubscription under poisoning.
+
+    Prediction on the flat rack against the ``predictor-poison``
+    attacker: every control slot runs the quantile/floor update, the
+    effective-budget recomputation and the admission-filter refill
+    retune, and the shaping→flood transition exercises both the graded
+    tier ladder and the hard-cap fallback.  Its own phase keeps the
+    predictor's per-slot overhead visible to the per-phase regression
+    gate.  The shaping window is sized to a third of the phase so the
+    flood lands well inside the measured run at either plan size.
+    """
+    with recorder.timers.phase("bench.prediction"):
+        engine = EventEngine(obs=recorder, mode=mode, fluid=fluid)
+        cfg = SimulationConfig(budget_level=BudgetLevel.LOW, seed=seed)
+        sim = DataCenterSimulation(cfg, scheme=PredictionScheme(), engine=engine)
+        sim.add_normal_traffic(rate_rps=NORMAL_RATE_RPS)
+        sim.add_dope_attacker(
+            start_delay_s=2.0,
+            mode="predictor-poison",
+            poison_duration_s=plan.prediction_duration_s / 3.0,
+            max_rate_rps=ATTACK_RATE_RPS,
+            num_agents=20,
+        )
+        sim.run(plan.prediction_duration_s)
 
 
 def _phase_entry(

@@ -110,6 +110,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
             "isolates one server per power-tree row"
         ),
     )
+    parser.add_argument(
+        "--prediction-horizon",
+        type=float,
+        default=60.0,
+        help=(
+            "history horizon in seconds for the prediction scheme's "
+            "P99 power estimate (default: 60)"
+        ),
+    )
 
 
 def _add_scheme_selector(parser: argparse.ArgumentParser) -> None:
@@ -157,6 +166,7 @@ def _config(args: argparse.Namespace, **overrides: object) -> SimulationConfig:
         budget_level=_budget(args.budget),
         seed=args.seed,
         detect_placement=getattr(args, "detect_placement", "dc"),
+        prediction_horizon_s=getattr(args, "prediction_horizon", 60.0),
     )
     kwargs.update(overrides)
     if args.topology == FLAT_TOPOLOGY:

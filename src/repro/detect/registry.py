@@ -1,4 +1,4 @@
-"""The five-scheme factory registry (Table 2 plus OnlineDetect).
+"""The six-scheme factory registry (Table 2 plus OnlineDetect/Prediction).
 
 Every driver that builds schemes by name — the CLI, the chaos sweep,
 the region analyzer — resolves through this one table, so adding a
@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tupl
 from ..core.anti_dope import AntiDopeScheme
 from ..power.capping import CappingScheme
 from ..power.manager import PowerManagementScheme
+from ..power.prediction import PredictionScheme
 from ..power.shaving import ShavingScheme
 from ..power.token_bucket import TokenScheme
 from .scheme import OnlineDetectScheme
@@ -33,6 +34,7 @@ SCHEME_FACTORIES: Dict[str, Callable[[], PowerManagementScheme]] = {
     "token": TokenScheme,
     "anti-dope": AntiDopeScheme,
     "online-detect": OnlineDetectScheme,
+    "prediction": PredictionScheme,
 }
 
 #: Stable (sorted) scheme-name tuple for CLI help and defaults.
@@ -54,13 +56,16 @@ def validate_scheme_names(names: Iterable[str]) -> List[str]:
 def make_scheme(
     name: str, config: Optional["SimulationConfig"] = None
 ) -> PowerManagementScheme:
-    """Build scheme *name*, threading config-level detector knobs.
+    """Build scheme *name*, threading config-level scheme knobs.
 
     ``online-detect`` reads ``config.detect_placement`` (per-DC vs
-    per-row quarantine pool) when a config is supplied; every other
-    scheme ignores the config entirely.
+    per-row quarantine pool) and ``prediction`` reads
+    ``config.prediction_horizon_s`` (power-history horizon) when a
+    config is supplied; every other scheme ignores the config entirely.
     """
     validate_scheme_names([name])
     if name == "online-detect" and config is not None:
         return OnlineDetectScheme(placement=config.detect_placement)
+    if name == "prediction" and config is not None:
+        return PredictionScheme(horizon_s=config.prediction_horizon_s)
     return SCHEME_FACTORIES[name]()

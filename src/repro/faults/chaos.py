@@ -51,14 +51,16 @@ __all__ = [
 CHAOS_SCHEMA_ID = "repro-chaos/1"
 
 #: The scheme matrix the sweep compares: Table 2 plus the online
-#: detector.  ``online-detect`` stays LAST — downstream consumers index
-#: cells positionally and the capping control arm must remain first.
+#: detector and the history-driven predictor.  New schemes append at
+#: the END — downstream consumers index cells positionally and the
+#: capping control arm must remain first.
 CHAOS_SCHEMES: Tuple[str, ...] = (
     "capping",
     "shaving",
     "token",
     "anti-dope",
     "online-detect",
+    "prediction",
 )
 
 #: Attack onset within every chaos cell.

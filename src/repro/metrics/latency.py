@@ -60,11 +60,16 @@ class LatencyStats:
         return cls.from_times([r.response_time for r in records if r.completed])
 
     def percentile(self, p: float) -> float:
-        """Named-percentile accessor (50/90/95/99 only)."""
+        """Named-percentile accessor (50/90/95/99 only).
+
+        Raises :class:`ValueError` for any other value — including
+        fractional ones like ``99.9`` or ``50.5``, which an ``int()``
+        coercion used to silently truncate onto the stored p99/p50.
+        """
         table = {50: self.p50, 90: self.p90, 95: self.p95, 99: self.p99}
         try:
-            return table[int(p)]
-        except KeyError:
+            return table[p]
+        except (KeyError, TypeError):
             raise ValueError(f"only percentiles {sorted(table)} are stored") from None
 
     def as_millis(self) -> dict:

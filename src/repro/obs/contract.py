@@ -110,6 +110,11 @@ COUNTER_PREFIXES: FrozenSet[str] = frozenset(
         # suspect-pool forwarding splits, quarantine enter/exit churn,
         # warm-up slots and calibration clamping under meter faults.
         "detect.",
+        # Prediction-based oversubscription: per-slot tier tallies
+        # (healthy/warn/soft_cap/hard_cap) plus the blind-violation
+        # slots where measured power exceeds the true supply while the
+        # history forecast still reports healthy.
+        "predict.",
     }
 )
 
@@ -142,6 +147,7 @@ TIMER_NAMES: FrozenSet[str] = frozenset(
         "bench.volume_flood",
         "bench.tree_topology",
         "bench.online_detect",
+        "bench.prediction",
         "bench.region_sweep_cold",
         "bench.region_sweep_warm",
     }

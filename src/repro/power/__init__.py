@@ -6,6 +6,11 @@ from .capping import CappingScheme, LocalCappingScheme
 from .hierarchy import FacilityBudgetAllocator, RackAllocation
 from .manager import NullScheme, PowerManagementScheme
 from .meter import PowerMeter, PowerSample
+from .prediction import (
+    PowerHistoryPredictor,
+    PredictedHeadroomFilter,
+    PredictionScheme,
+)
 from .shaving import ShavingScheme
 from .token_bucket import PowerTokenBucket, TokenScheme
 
@@ -22,6 +27,9 @@ __all__ = [
     "ShavingScheme",
     "TokenScheme",
     "PowerTokenBucket",
+    "PowerHistoryPredictor",
+    "PredictedHeadroomFilter",
+    "PredictionScheme",
     "FacilityBudgetAllocator",
     "RackAllocation",
 ]

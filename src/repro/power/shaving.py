@@ -11,6 +11,7 @@ scheme degenerates into Capping with a delay.
 
 from __future__ import annotations
 
+from .._validation import check_int
 from .manager import PowerManagementScheme, UniformCappingMixin
 
 __all__ = ["ShavingScheme"]
@@ -37,6 +38,12 @@ class ShavingScheme(UniformCappingMixin, PowerManagementScheme):
         nodes" and the steep exhaustion in Fig. 18.  When False, the
         battery supplies only the deficit above the budget (partial
         sourcing, as in virtualised power architectures).
+    max_decisions:
+        Maximum per-slot decision tuples retained in ``decisions`` (the
+        oldest are discarded first) — a multi-hour run would otherwise
+        grow the trace without bound while the exact slot totals
+        already live in the ``power.control_slots`` /
+        ``power.battery_discharge_slots`` counters.
     """
 
     name = "shaving"
@@ -47,6 +54,7 @@ class ShavingScheme(UniformCappingMixin, PowerManagementScheme):
         soc_reserve: float = 0.05,
         hysteresis: float = 0.02,
         full_carry: bool = True,
+        max_decisions: int = 1024,
     ) -> None:
         super().__init__()
         if not 0.0 <= recharge_headroom_fraction <= 1.0:
@@ -58,11 +66,14 @@ class ShavingScheme(UniformCappingMixin, PowerManagementScheme):
             raise ValueError(f"soc_reserve must be in [0, 1), got {soc_reserve}")
         if not 0.0 <= hysteresis < 0.5:
             raise ValueError(f"hysteresis must be in [0, 0.5), got {hysteresis}")
+        check_int("max_decisions", max_decisions, minimum=0)
         self.recharge_headroom_fraction = recharge_headroom_fraction
         self.soc_reserve = soc_reserve
         self.hysteresis = hysteresis
         self.full_carry = full_carry
-        #: Per-slot (time, deficit_w, battery_w, dvfs_level) decisions.
+        self.max_decisions = max_decisions
+        #: Per-slot (time, deficit_w, battery_w, dvfs_level) decisions —
+        #: a bounded trace of the most recent ``max_decisions`` slots.
         self.decisions = []
 
     def bind(self, engine, rack, budget, battery, slot_s) -> None:
@@ -111,3 +122,5 @@ class ShavingScheme(UniformCappingMixin, PowerManagementScheme):
             )
             battery.charge(charge_w, self.slot_s)
         self.decisions.append((self.engine.now, deficit, battery_w, level))
+        if len(self.decisions) > self.max_decisions:
+            del self.decisions[: len(self.decisions) - self.max_decisions]

@@ -9,6 +9,7 @@ DDoS-deflate-style firewall at 150 req/s and 1-second control slots.
 
 from __future__ import annotations
 
+import math
 from dataclasses import asdict, dataclass, replace
 from typing import TYPE_CHECKING, Any, Dict, Optional
 
@@ -67,6 +68,15 @@ class SimulationConfig:
     #: pre-detector configs hash identically.
     detect_placement: str = "dc"
 
+    # --- prediction-based oversubscription --------------------------
+    #: Power-history horizon of the ``prediction`` scheme: the decaying
+    #: observed-max floor fades over roughly this many seconds and the
+    #: percentile estimator is paced to traverse the nameplate range in
+    #: the same window.  The default serialises *without* the key (same
+    #: contract as ``topology``) so pre-predictor configs hash
+    #: identically.
+    prediction_horizon_s: float = 60.0
+
     # --- reproducibility --------------------------------------------
     seed: int = 0
 
@@ -109,6 +119,7 @@ class SimulationConfig:
             f"detect_placement must be 'dc' or 'row', "
             f"got {self.detect_placement!r}",
         )
+        check_positive("prediction_horizon_s", self.prediction_horizon_s)
         check_int("seed", self.seed, minimum=0)
 
     @property
@@ -167,6 +178,9 @@ class SimulationConfig:
             # Same delete-at-default contract: pre-detector configs and
             # cached experiment ids keep their identity.
             del out["detect_placement"]
+        if math.isclose(self.prediction_horizon_s, 60.0):
+            # Same delete-at-default contract for the predictor horizon.
+            del out["prediction_horizon_s"]
         return out
 
     @classmethod

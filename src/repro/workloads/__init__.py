@@ -34,6 +34,7 @@ _LAZY = {
     "DopeStats": ("dope", "DopeStats"),
     "DopeAdjustment": ("dope", "DopeAdjustment"),
     "AttackerState": ("dope", "AttackerState"),
+    "ATTACK_MODES": ("dope", "ATTACK_MODES"),
     "PulseAttacker": ("pulse", "PulseAttacker"),
     "PulseStats": ("pulse", "PulseStats"),
     "ClosedLoopGenerator": ("generator", "ClosedLoopGenerator"),
@@ -81,6 +82,7 @@ __all__ = [
     "DopeStats",
     "DopeAdjustment",
     "AttackerState",
+    "ATTACK_MODES",
     "PulseAttacker",
     "PulseStats",
     "ClosedLoopGenerator",

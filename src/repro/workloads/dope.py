@@ -40,6 +40,7 @@ from .catalog import RequestMix, RequestType, TrafficClass, uniform_mix
 from .generator import ClosedLoopGenerator, Dispatch, clients_for_rate
 
 __all__ = [
+    "ATTACK_MODES",
     "AttackerState",
     "DopeAdjustment",
     "DopeStats",
@@ -53,6 +54,14 @@ class AttackerState(enum.Enum):
     PROBING = "probing"
     BACKING_OFF = "backing_off"
     CONVERGED = "converged"
+    #: Predictor-poison mode only: the quiet low-draw phase that walks
+    #: the victim's power-history percentile (and its decaying max
+    #: floor) down before the synchronized flood.
+    SHAPING = "shaping"
+
+
+#: Attacker behaviour modes (``DopeAttacker(mode=...)``).
+ATTACK_MODES: tuple = ("classic", "predictor-poison")
 
 
 @dataclass
@@ -148,6 +157,26 @@ class DopeAttacker:
     dilution_mix:
         Benign-looking mix to dilute toward; defaults to the uniform
         all-types catalog mix (what a normal user population requests).
+    mode:
+        ``"classic"`` (default) runs the Fig. 12 probe-and-adjust loop
+        unchanged.  ``"predictor-poison"`` targets a history-driven
+        victim (the ``prediction`` scheme): for ``poison_duration_s``
+        after launch the attacker *shapes* — it presents only
+        ``shaping_rate_rps`` of the light ``shaping_mix``, depressing
+        the victim's power-history percentile and letting its decaying
+        observed-max floor fade — and then fires a synchronized flood
+        of the full attack mix at ``max_rate_rps`` into the inflated
+        headroom the poisoned forecast granted.  After the flood fires
+        the classic adaptive loop resumes.
+    poison_duration_s:
+        Length of the shaping phase (should exceed the victim
+        predictor's history horizon to fully fade the max floor).
+    shaping_rate_rps:
+        Aggregate rate presented while shaping (low — the point is a
+        quiet history, not damage).
+    shaping_mix:
+        Request mix of the shaping phase; defaults to the lightest EC
+        endpoint (text retrieval) so per-request power stays minimal.
     """
 
     def __init__(
@@ -172,8 +201,12 @@ class DopeAttacker:
         dilution_step: float = 0.0,
         max_dilution: float = 0.8,
         dilution_mix: Optional[RequestMix] = None,
+        mode: str = "classic",
+        poison_duration_s: float = 120.0,
+        shaping_rate_rps: float = 20.0,
+        shaping_mix: Optional[RequestMix] = None,
     ) -> None:
-        from .catalog import ALL_TYPES, COLLA_FILT, K_MEANS, WORD_COUNT
+        from .catalog import ALL_TYPES, COLLA_FILT, K_MEANS, TEXT_CONT, WORD_COUNT
 
         check_positive("initial_rate_rps", initial_rate_rps)
         check_positive("rate_step_rps", rate_step_rps)
@@ -191,6 +224,12 @@ class DopeAttacker:
             raise ValueError(
                 f"max_dilution must be in [0,1), got {max_dilution}"
             )
+        require(
+            mode in ATTACK_MODES,
+            f"mode must be one of {ATTACK_MODES}, got {mode!r}",
+        )
+        check_positive("poison_duration_s", poison_duration_s)
+        check_positive("shaping_rate_rps", shaping_rate_rps)
 
         self.engine = engine
         self.rng = rng
@@ -219,7 +258,18 @@ class DopeAttacker:
         mix = target_mix or uniform_mix((COLLA_FILT, K_MEANS, WORD_COUNT))
         self.target_mix = mix
         self.dilution_mix = dilution_mix or uniform_mix(ALL_TYPES)
+        self.mode = mode
+        self.poison_duration_s = float(poison_duration_s)
+        self.shaping_rate_rps = float(shaping_rate_rps)
+        self.shaping_mix = shaping_mix or uniform_mix((TEXT_CONT,))
+        #: Simulated time at which a poison-mode flood fires; ``None``
+        #: in classic mode and after the flood has been released.
+        self._flood_at_s: Optional[float] = None
         self.think_s = 0.2
+        if self.mode == "predictor-poison":
+            # Open quietly: the shaping stream *is* the first phase.
+            self.rate_rps = self.shaping_rate_rps
+            mix = self.shaping_mix
         # The attack tools are closed-loop (fixed concurrency); the
         # attacker's "rate" knob maps onto the client-pool size.
         self.generator = ClosedLoopGenerator(
@@ -239,6 +289,10 @@ class DopeAttacker:
     # ------------------------------------------------------------------
     def start(self, delay_s: float = 0.0) -> None:
         """Launch the flood and the adjustment loop."""
+        if self.mode == "predictor-poison":
+            self._flood_at_s = (
+                self.engine.now + delay_s + self.poison_duration_s
+            )
         self.generator.start(delay_s)
         self._stop_loop = self.engine.every(
             self.adjust_interval_s,
@@ -294,10 +348,57 @@ class DopeAttacker:
             weights[rtype] = weights.get(rtype, 0.0) + weight * self.dilution
         return RequestMix(weights)
 
+    def _record(self, detected: bool, effective: bool, quarantined: bool) -> None:
+        """Append one loop decision to the Fig. 12 trace."""
+        self.stats.adjustments.append(
+            DopeAdjustment(
+                time_s=self.engine.now,
+                rate_rps=self.rate_rps,
+                num_agents=self.pool.size,
+                detected=detected,
+                effective=effective,
+                state=self.state,
+                quarantined=quarantined,
+                dilution=self.dilution,
+            )
+        )
+
+    def _poison_phase_adjust(
+        self, detected: bool, effective: bool, quarantined: bool
+    ) -> bool:
+        """Poison-mode phase machine; True while it owns the decision.
+
+        Before the flood instant the attacker only *shapes* (holds the
+        quiet low-draw stream — no probing, nothing for the victim's
+        history to remember).  At the flood instant it swaps the
+        generator onto the full attack mix at botnet capacity in one
+        synchronized step, then hands control back to the classic
+        loop for subsequent adjustments.
+        """
+        if self._flood_at_s is None:
+            return False
+        if self.engine.now < self._flood_at_s:
+            self.state = AttackerState.SHAPING
+            self._record(detected, effective, quarantined)
+            return True
+        # Fire: the poisoned forecast has inflated the victim's
+        # effective budget — commit the whole botnet at once.
+        self._flood_at_s = None
+        self.rate_rps = self.max_rate_rps
+        self.generator.mix = self.target_mix
+        self.state = AttackerState.PROBING
+        self.generator.set_clients(
+            clients_for_rate(self.rate_rps, self.generator.mix, self.think_s)
+        )
+        self._record(detected, effective, quarantined)
+        return True
+
     def _adjust(self) -> None:
         detected = bool(self.detection_signal())
         effective = bool(self.effect_signal())
         quarantined = bool(self.quarantine_signal())
+        if self._poison_phase_adjust(detected, effective, quarantined):
+            return
         if quarantined and self.dilution_step > 0.0:
             # Anti-detector evasion: blend benign-looking requests into
             # the stream so the behavioural scores (entropy, per-request
@@ -321,18 +422,7 @@ class DopeAttacker:
         self.generator.set_clients(
             clients_for_rate(self.rate_rps, self.generator.mix, self.think_s)
         )
-        self.stats.adjustments.append(
-            DopeAdjustment(
-                time_s=self.engine.now,
-                rate_rps=self.rate_rps,
-                num_agents=self.pool.size,
-                detected=detected,
-                effective=effective,
-                state=self.state,
-                quarantined=quarantined,
-                dilution=self.dilution,
-            )
-        )
+        self._record(detected, effective, quarantined)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

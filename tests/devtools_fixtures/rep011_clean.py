@@ -44,3 +44,12 @@ def record_detection(counters, timers):
     counters.inc("detect.calibration_clamped")
     with timers.phase("bench.online_detect"):
         pass
+
+
+def record_prediction(counters, timers):
+    """The prediction-scheme family, declared by the predict. prefix."""
+    counters.inc("predict.healthy_slots")
+    counters.inc("predict.soft_cap_slots", 2)
+    counters.inc("predict.blind_violation_slots")
+    with timers.phase("bench.prediction"):
+        pass

@@ -33,3 +33,10 @@ def record_detection(counters, timers):
     counters.inc("detect-quarantine_enters")  # VIOLATION: dash where the detect. prefix has a dot
     with timers.phase("bench.online_detct"):  # VIOLATION: typo of bench.online_detect
         pass
+
+
+def record_prediction(counters, timers):
+    counters.inc("predit.healthy_slots")  # VIOLATION: typo of the predict. prefix
+    counters.inc("predict_soft_cap_slots")  # VIOLATION: underscore where the predict. prefix has a dot
+    with timers.phase("bench.predictions"):  # VIOLATION: typo of bench.prediction
+        pass

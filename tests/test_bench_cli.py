@@ -136,6 +136,7 @@ def test_bench_cli_smoke_emits_schema_valid_json(tmp_path, capsys):
         "bench.attack_scenario",
         "bench.chaos_scenario",
         "bench.online_detect",
+        "bench.prediction",
         "bench.tree_topology",
         "bench.volume_flood",
         "bench.region_sweep_cold",

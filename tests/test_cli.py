@@ -148,7 +148,7 @@ class TestChaosCommand:
         out = tmp_path / "chaos.json"
         code = main(["chaos", "--smoke", "--seed", "4", "--out", str(out)])
         assert code == 0
-        assert "5 cells" in capsys.readouterr().out
+        assert "6 cells" in capsys.readouterr().out
         payload = json.loads(out.read_text())
         assert validate_chaos_payload(payload) == []
         assert payload["schema"] == "repro-chaos/1"
@@ -156,6 +156,7 @@ class TestChaosCommand:
             "anti-dope",
             "capping",
             "online-detect",
+            "prediction",
             "shaving",
             "token",
         ]
@@ -163,3 +164,70 @@ class TestChaosCommand:
             assert cell["dropped"] == (
                 cell["dropped_policy"] + cell["dropped_fault"]
             )
+
+
+ALL_SCHEMES = [
+    "anti-dope",
+    "capping",
+    "online-detect",
+    "prediction",
+    "shaving",
+    "token",
+]
+
+
+class TestSchemeSelectorRoundTrip:
+    """--scheme/--schemes must accept exactly the six registry names on
+    every command that sweeps or compares schemes."""
+
+    def test_region_accepts_every_scheme_name(self):
+        for name in ALL_SCHEMES:
+            args = build_parser().parse_args(["region", "--scheme", name])
+            assert args.scheme == name
+
+    def test_sweep_accepts_all_names_at_once(self):
+        args = build_parser().parse_args(["sweep", "--schemes"] + ALL_SCHEMES)
+        assert args.schemes == ALL_SCHEMES
+
+    def test_compare_accepts_all_names_at_once(self):
+        args = build_parser().parse_args(
+            ["compare", "--schemes"] + ALL_SCHEMES
+        )
+        assert args.schemes == ALL_SCHEMES
+
+    def test_scheme_and_schemes_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["region", "--scheme", "prediction", "--schemes", "capping"]
+            )
+
+    def test_unknown_scheme_rejected_everywhere(self):
+        for command in ("region", "sweep"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([command, "--scheme", "nope"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--schemes", "nope"])
+
+    def test_prediction_horizon_flag_parses(self):
+        args = build_parser().parse_args(
+            ["region", "--prediction-horizon", "120"]
+        )
+        assert args.prediction_horizon == 120.0
+
+    def test_region_runs_under_prediction(self, capsys):
+        code = main(
+            [
+                "region",
+                "--scheme",
+                "prediction",
+                "--rates",
+                "50",
+                "--seed",
+                "1",
+                "--prediction-horizon",
+                "30",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "prediction" in out

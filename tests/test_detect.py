@@ -253,11 +253,12 @@ class TestAnomalyModel:
 
 
 class TestRegistry:
-    def test_five_schemes(self):
+    def test_six_schemes(self):
         assert set(SCHEME_NAMES) == {
             "anti-dope",
             "capping",
             "online-detect",
+            "prediction",
             "shaving",
             "token",
         }

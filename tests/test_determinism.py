@@ -205,6 +205,63 @@ def test_online_detect_scalar_batched_byte_identical():
     assert run("scalar") == run("batched")
 
 
+def test_prediction_region_sweep_parallel_byte_identical_to_serial():
+    """The prediction-armed fig11 sweep is worker-count invariant too.
+
+    The predictor adds a per-slot quantile/floor update and an
+    admission-filter refill retune to every probe; none of it may read
+    anything a process boundary could perturb, so the zone columns must
+    survive a 4-way fan-out byte-for-byte.
+    """
+    analyzer = DopeRegionAnalyzer(
+        config=SimulationConfig(budget_level=BudgetLevel.MEDIUM, seed=REGION_SEED),
+        window_s=20.0,
+        num_agents=20,
+        scheme="prediction",
+    )
+    serial = analyzer.sweep(REGION_TYPES, REGION_RATES, workers=1)
+    parallel = analyzer.sweep(REGION_TYPES, REGION_RATES, workers=4)
+    assert repr(parallel.as_rows()) == repr(serial.as_rows())
+    assert [c.zone for c in parallel.cells] == [c.zone for c in serial.cells]
+
+
+def test_prediction_scalar_batched_byte_identical():
+    """Prediction under the batched engine == scalar, byte for byte.
+
+    The predictor observes measured power on control-slot boundaries
+    and retunes the admission filter's refill rate mid-run; both paths
+    must be execution-mode invariant, like every other scheme — down to
+    the JSON-serialised predictor report.
+    """
+    from repro import PredictionScheme
+
+    def run(mode):
+        sim = DataCenterSimulation(
+            SimulationConfig(budget_level=BudgetLevel.LOW, seed=7),
+            scheme=PredictionScheme(),
+            engine_mode=mode,
+        )
+        sim.add_normal_traffic(rate_rps=40)
+        sim.add_flood(mix=ATTACK, rate_rps=200, num_agents=10, start_s=15)
+        sim.run(60.0)
+        records = io.StringIO()
+        records_to_csv(sim.collector.records, records)
+        meter = io.StringIO()
+        meter_to_csv(sim.meter, meter)
+        report = json.dumps(
+            detector_summary(sim.scheme), sort_keys=True, allow_nan=False
+        )
+        return (
+            records.getvalue().encode()
+            + b"\x00"
+            + meter.getvalue().encode()
+            + b"\x00"
+            + report.encode()
+        )
+
+    assert run("scalar") == run("batched")
+
+
 def test_chaos_parallel_cells_byte_identical_to_serial():
     """run_chaos: the faulted scheme matrix is worker-count invariant.
 

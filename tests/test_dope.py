@@ -231,3 +231,58 @@ class TestAgentRotation:
         static = run(rotate=False)
         rotating = run(rotate=True)
         assert rotating > 2 * static
+
+
+class TestPredictorPoisonMode:
+    def test_mode_validated(self, engine, rng, registry):
+        with pytest.raises(ValueError):
+            make_attacker(engine, rng, registry, mode="typo-mode")
+
+    def test_classic_is_the_default(self, engine, rng, registry):
+        attacker = make_attacker(engine, rng, registry)
+        assert attacker.mode == "classic"
+        assert attacker._flood_at_s is None
+
+    def test_shapes_then_floods(self, engine, rng, registry):
+        attacker = make_attacker(
+            engine,
+            rng,
+            registry,
+            mode="predictor-poison",
+            poison_duration_s=20.0,
+            shaping_rate_rps=10.0,
+            max_rate_rps=500.0,
+        )
+        attacker.start()
+        # Shaping window: the quiet stream holds the shaping rate and
+        # never ramps, whatever the classic probe loop would have done.
+        engine.run(until=19.0)
+        assert attacker.state is AttackerState.SHAPING
+        assert attacker.rate_rps == pytest.approx(10.0)
+        # Flood instant: one step to the full rate and the target mix,
+        # then the classic Fig. 12 loop takes over.
+        engine.run(until=26.0)
+        assert attacker.state is AttackerState.PROBING
+        assert attacker.rate_rps == pytest.approx(500.0)
+        states = [a.state for a in attacker.stats.adjustments]
+        assert AttackerState.SHAPING in states
+        assert states[-1] is AttackerState.PROBING
+
+    def test_shaping_mix_defaults_to_lightest_type(self, engine, rng, registry):
+        attacker = make_attacker(
+            engine, rng, registry, mode="predictor-poison"
+        )
+        (only_type,) = attacker.shaping_mix.types
+        assert only_type.name == "text-cont"
+
+    def test_poison_params_validated(self, engine, rng, registry):
+        with pytest.raises(ValueError):
+            make_attacker(
+                engine, rng, registry,
+                mode="predictor-poison", poison_duration_s=0.0,
+            )
+        with pytest.raises(ValueError):
+            make_attacker(
+                engine, rng, registry,
+                mode="predictor-poison", shaping_rate_rps=-1.0,
+            )

@@ -76,3 +76,20 @@ class TestSlowdown:
         other = LatencyStats.from_times([0.1])
         with pytest.raises(ValueError):
             slowdown(other, base)
+
+
+class TestPercentileTruncationRegression:
+    """``percentile()`` used to coerce through ``int()``: 99.9 silently
+    returned the stored p99 and 50.5 the stored p50.  Both now raise."""
+
+    def test_fractional_percentiles_raise(self):
+        stats = LatencyStats.from_times([0.1, 0.5, 0.9])
+        with pytest.raises(ValueError):
+            stats.percentile(99.9)
+        with pytest.raises(ValueError):
+            stats.percentile(50.5)
+
+    def test_whole_float_percentiles_still_resolve(self):
+        stats = LatencyStats.from_times([0.1, 0.5, 0.9])
+        assert stats.percentile(50.0) == stats.p50
+        assert stats.percentile(95.0) == stats.p95

@@ -31,6 +31,7 @@ from repro import (
     CappingScheme,
     DataCenterSimulation,
     OnlineDetectScheme,
+    PredictionScheme,
     ShavingScheme,
     SimulationConfig,
     TokenScheme,
@@ -48,6 +49,7 @@ SCHEMES = {
     "token": TokenScheme,
     "anti-dope": AntiDopeScheme,
     "online-detect": OnlineDetectScheme,
+    "prediction": PredictionScheme,
 }
 
 SEEDS = (1, 2, 3)
@@ -118,6 +120,21 @@ GOLDEN = {
     "online-detect/3": (
         "c0994d1ddb40859fe30e3469a8566fc42085a00c731d1f18a6dbb5f3b63f4398",
         "2f36a2805e50db40898bc2fdc2563a4c19ed7b93e66002c38a6a71723836610b",
+    ),
+    # prediction joined the matrix with the sixth scheme; its entries
+    # were captured on the tree that introduced it and are frozen from
+    # that point on, like the five above.
+    "prediction/1": (
+        "805017597fda17a72d3b89a54388f83cde4cf973d7cad47f4480a9cd763d3bee",
+        "8473379c18a870bb5e7e1791bcb7d7db61fdc3622fd94b33177719a63a250595",
+    ),
+    "prediction/2": (
+        "e66e855d0de8e5dca91f7873f252046c6093e1a11c4dd013d113a1cec2fea48b",
+        "9a40cca25465362dea8ad6ab365ff29356a3e6e859eb1fc85f323081ec730491",
+    ),
+    "prediction/3": (
+        "81a4021e5a76cafcc575ed0851e2df123f7f87a4b1b642aa10d0f298b8436093",
+        "4e5d5dc5b04b9c3b413e9b2368000e4dd4ed1fe9f5f9069334aaccafad4836a0",
     ),
 }
 
